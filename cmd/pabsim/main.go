@@ -1,0 +1,93 @@
+// Command pabsim regenerates the paper's evaluation figures from the
+// simulated PAB system.
+//
+// Usage:
+//
+//	pabsim -experiment fig3          # one figure as TSV on stdout
+//	pabsim -experiment fig3 -plot    # the same figure as an ASCII chart
+//	pabsim -experiment all           # every figure, with banners
+//	pabsim -list                     # available experiment ids
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"pab/internal/experiments"
+	"pab/internal/plot"
+)
+
+func main() {
+	exp := flag.String("experiment", "", "experiment id (see -list), or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	doPlot := flag.Bool("plot", false, "render an ASCII chart instead of TSV")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, name := range experiments.Names() {
+			desc, _ := experiments.Describe(name)
+			fmt.Printf("%-10s %s\n", name, desc)
+		}
+	case *exp == "all":
+		for _, name := range experiments.Names() {
+			desc, _ := experiments.Describe(name)
+			fmt.Printf("## %s — %s\n", name, desc)
+			if err := run(name, *doPlot); err != nil {
+				fmt.Fprintf(os.Stderr, "pabsim: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	case *exp != "":
+		if err := run(*exp, *doPlot); err != nil {
+			fmt.Fprintf(os.Stderr, "pabsim: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// run executes one experiment, optionally rendering its TSV as a chart.
+func run(name string, doPlot bool) error {
+	if !doPlot {
+		return experiments.Run(name, os.Stdout)
+	}
+	var buf bytes.Buffer
+	if err := experiments.Run(name, &buf); err != nil {
+		return err
+	}
+	series, err := plot.ParseTSV(buf.String())
+	if err != nil {
+		// Not chartable (e.g. textual columns): fall back to the table.
+		fmt.Print(buf.String())
+		return nil
+	}
+	// Decade-spanning positive data (BER curves) reads better on a log
+	// axis.
+	opt := plot.Options{LogY: true}
+	for _, s := range series {
+		for _, y := range s.Y {
+			if y <= 0 {
+				opt.LogY = false
+			}
+		}
+	}
+	if opt.LogY {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, y := range s.Y {
+				lo = math.Min(lo, y)
+				hi = math.Max(hi, y)
+			}
+		}
+		if hi/lo < 1000 {
+			opt.LogY = false
+		}
+	}
+	return plot.RenderWithOptions(os.Stdout, name, series, 72, 20, opt)
+}

@@ -1,0 +1,75 @@
+// Inventory: cold-start network bring-up — the reader does not know
+// which nodes are in range. It first discovers them with the Gen2-style
+// slotted-ALOHA inventory (the anti-collision protocol PAB inherits from
+// its RFID lineage, §3.3.2), then assigns FDMA channels with the
+// recto-piezo planner (§3.3.1), and finally polls the fleet end to end
+// through the physical simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pab"
+	"pab/internal/mac"
+)
+
+func main() {
+	// A fleet of nine nodes has been dropped into the water; the reader
+	// starts blind.
+	population := []byte{0x11, 0x12, 0x13, 0x21, 0x22, 0x23, 0x31, 0x32, 0x33}
+
+	// 1. Discovery: framed slotted ALOHA with adaptive Q.
+	res, err := mac.Inventory(population, mac.DefaultInventoryConfig(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		log.Fatalf("inventory: %v", err)
+	}
+	fmt.Printf("discovered %d nodes in %d rounds / %d slots (efficiency %.2f, optimum 1/e ≈ 0.37)\n",
+		len(res.Identified), res.Rounds, res.Slots, res.Efficiency())
+	fmt.Printf("  slots: %d singleton, %d collision, %d empty\n",
+		res.Singletons, res.Collisions, res.Empties)
+
+	// 2. Channel planning for the first three discovered nodes (the
+	// 13.5–16.5 kHz band holds three recto-piezo channels at 1.5 kHz
+	// spacing).
+	roster := res.Identified[:3]
+	infos := make([]mac.NodeInfo, len(roster))
+	for i, addr := range roster {
+		infos[i] = mac.NodeInfo{Addr: addr}
+	}
+	plan, err := mac.PlanFDMA(infos, 13500, 16500, 1500)
+	if err != nil {
+		log.Fatalf("plan: %v", err)
+	}
+	for _, a := range plan {
+		fmt.Printf("node %#02x ← %.1f kHz\n", a.Addr, a.FrequencyHz/1000)
+	}
+
+	// 3. Deploy and poll through the physical simulation.
+	cfg := pab.DefaultFDMANetworkConfig()
+	for i := range cfg.Nodes {
+		cfg.Nodes[i].Addr = roster[i]
+	}
+	net, err := pab.NewFDMANetwork(cfg, 2)
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	fmt.Println("charging the fleet...")
+	if err := net.PowerUpAll(120); err != nil {
+		log.Fatalf("power up: %v", err)
+	}
+	replies := net.Round(func(addr byte) pab.Query {
+		return pab.Query{Dest: addr, Command: 0x01} // ping
+	})
+	for _, addr := range roster {
+		df := replies[addr]
+		if df == nil {
+			log.Fatalf("node %#02x did not reply", addr)
+		}
+		fmt.Printf("node %#02x alive (cap ≈ %.2f V)\n", addr, float64(df.Payload[1])*0.05)
+	}
+	s := net.Stats()
+	fmt.Printf("\nround complete: %d replies, %.1f s airtime, goodput %.1f bit/s\n",
+		s.Replies, s.Airtime, s.GoodputBps())
+}

@@ -1,0 +1,78 @@
+// Rangefinder: a deployment-planning study — how far can a battery-free
+// node sit from the projector and still power up, as a function of
+// amplifier drive, in each of the paper's pools (the Fig 9 question)?
+// Useful when siting nodes for a real deployment: it reports the
+// power-up margin at a chosen spot before committing hardware.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pab"
+	"pab/internal/channel"
+)
+
+func main() {
+	// Sweep a handful of drive voltages against both pools.
+	fmt.Println("maximum power-up range (m) vs amplifier drive")
+	fmt.Printf("%8s %12s %12s\n", "drive_v", "pool_a", "pool_b")
+	for _, drive := range []float64{50, 100, 200, 350} {
+		a := maxRange(pab.PoolA(), drive)
+		b := maxRange(pab.PoolB(), drive)
+		fmt.Printf("%8.0f %12.2f %12.2f\n", drive, a, b)
+	}
+
+	// Then check one concrete placement end to end: will a node at the
+	// far end of Pool B actually boot and answer at 200 V?
+	cfg := pab.DefaultLinkConfig()
+	cfg.Tank = pab.PoolB()
+	cfg.DriveV = 200
+	cfg.ProjectorPos = pab.Vec3{X: 0.6, Y: 0.4, Z: 0.5}
+	cfg.HydrophonePos = pab.Vec3{X: 0.8, Y: 0.6, Z: 0.5}
+	cfg.NodePos = pab.Vec3{X: 0.6, Y: 7.5, Z: 0.5}
+	link, err := pab.NewLink(cfg, 0x07, 200, pab.RoomTank())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist := cfg.ProjectorPos.Distance(cfg.NodePos)
+	fmt.Printf("\nplacement check: node %.1f m down Pool B at %.0f V\n", dist, cfg.DriveV)
+	if err := link.MustPowerUp(); err != nil {
+		fmt.Printf("  node does NOT power up: %v\n", err)
+		return
+	}
+	fmt.Printf("  node powered (cap %.2f V)\n", link.CapVoltage())
+	r, err := link.ReadSensor(pab.SensorTemperature)
+	if err != nil {
+		fmt.Printf("  powered but uplink failed: %v\n", err)
+		return
+	}
+	fmt.Printf("  temperature read back: %.2f °C at %.1f dB SNR\n", r.Value, r.SNRdB)
+}
+
+// maxRange scans node placements down the pool diagonal (0.25 m steps)
+// and returns the farthest range whose steady-state link budget powers
+// the node.
+func maxRange(tank channel.Tank, driveV float64) float64 {
+	projPos := pab.Vec3{X: 0.3, Y: 0.3, Z: tank.LZ / 2}
+	far := pab.Vec3{X: tank.LX - 0.3, Y: tank.LY - 0.3, Z: tank.LZ / 2}
+	limit := projPos.Distance(far)
+	dirX := (far.X - projPos.X) / limit
+	dirY := (far.Y - projPos.Y) / limit
+	for d := limit; d >= 0.25; d -= 0.25 {
+		cfg := pab.DefaultLinkConfig()
+		cfg.Tank = tank
+		cfg.DriveV = driveV
+		cfg.ProjectorPos = projPos
+		cfg.HydrophonePos = pab.Vec3{X: projPos.X + 0.2, Y: projPos.Y + 0.1, Z: projPos.Z}
+		cfg.NodePos = pab.Vec3{X: projPos.X + dirX*d, Y: projPos.Y + dirY*d, Z: tank.LZ / 2}
+		link, err := pab.NewLink(cfg, 0x01, 500, pab.RoomTank())
+		if err != nil {
+			continue
+		}
+		if link.Core().CanEverPowerUp() {
+			return d
+		}
+	}
+	return 0
+}

@@ -1,0 +1,135 @@
+package acoustics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Depth-dependent propagation groundwork for the deep-sea deployments
+// the paper's §1/§8 future work targets. The tank experiments are
+// isovelocity; the open ocean is not — sound speed varies with depth,
+// bending rays toward the speed minimum (the SOFAR channel). These
+// tools provide the canonical Munk profile and a ray tracer so
+// deployment studies can reason about where a projector's energy
+// actually goes.
+
+// SoundSpeedProfile maps depth (m, positive down) to sound speed (m/s).
+type SoundSpeedProfile interface {
+	SpeedAt(depthM float64) float64
+}
+
+// MunkProfile is the canonical deep-ocean sound speed profile
+// c(z) = c1·[1 + ε·(η + e^−η − 1)], η = 2(z − z1)/B.
+type MunkProfile struct {
+	// AxisDepthM is the channel axis z1 (speed minimum), typically
+	// ~1300 m.
+	AxisDepthM float64
+	// AxisSpeedMS is the speed at the axis, typically ~1500 m/s.
+	AxisSpeedMS float64
+	// ScaleDepthM is the profile scale B, typically ~1300 m.
+	ScaleDepthM float64
+	// Epsilon is the perturbation strength, typically 0.00737.
+	Epsilon float64
+}
+
+// CanonicalMunk returns Munk's original parameterisation.
+func CanonicalMunk() MunkProfile {
+	return MunkProfile{AxisDepthM: 1300, AxisSpeedMS: 1500, ScaleDepthM: 1300, Epsilon: 0.00737}
+}
+
+// SpeedAt implements SoundSpeedProfile.
+func (m MunkProfile) SpeedAt(depthM float64) float64 {
+	eta := 2 * (depthM - m.AxisDepthM) / m.ScaleDepthM
+	return m.AxisSpeedMS * (1 + m.Epsilon*(eta+math.Exp(-eta)-1))
+}
+
+// LinearProfile is a constant-gradient profile c(z) = c0 + g·z (the
+// classic isothermal mixed-layer model with g ≈ 0.017 s⁻¹).
+type LinearProfile struct {
+	SurfaceSpeedMS float64
+	GradientPerS   float64
+}
+
+// SpeedAt implements SoundSpeedProfile.
+func (l LinearProfile) SpeedAt(depthM float64) float64 {
+	return l.SurfaceSpeedMS + l.GradientPerS*depthM
+}
+
+// RayPoint is one step of a traced ray.
+type RayPoint struct {
+	RangeM float64
+	DepthM float64
+	// AngleRad is the grazing angle from horizontal (positive down).
+	AngleRad float64
+}
+
+// TraceRay integrates a ray through the profile using Snell's law
+// (cosθ/c constant along the ray), stepping stepM in range for n steps
+// from the given source depth and launch angle. Rays reflect at the
+// surface (z = 0) and at bottomM.
+func TraceRay(p SoundSpeedProfile, srcDepthM, launchRad, stepM, bottomM float64, n int) ([]RayPoint, error) {
+	if p == nil {
+		return nil, fmt.Errorf("acoustics: nil profile")
+	}
+	if stepM <= 0 || n < 1 {
+		return nil, fmt.Errorf("acoustics: need positive step and ≥1 steps")
+	}
+	if bottomM <= 0 || srcDepthM < 0 || srcDepthM > bottomM {
+		return nil, fmt.Errorf("acoustics: source depth %g outside water column [0, %g]", srcDepthM, bottomM)
+	}
+	if math.Abs(launchRad) >= math.Pi/2 {
+		return nil, fmt.Errorf("acoustics: launch angle %g too steep for range stepping", launchRad)
+	}
+	// Snell invariant: cos(θ)/c(z) is constant between turning points.
+	ray := make([]RayPoint, 0, n+1)
+	z := srcDepthM
+	theta := launchRad
+	ray = append(ray, RayPoint{0, z, theta})
+	snell := math.Cos(theta) / p.SpeedAt(z)
+	for i := 1; i <= n; i++ {
+		r := float64(i) * stepM
+		z += stepM * math.Tan(theta)
+		// Boundary reflections flip the vertical direction.
+		if z < 0 {
+			z = -z
+			theta = -theta
+			snell = math.Cos(theta) / p.SpeedAt(z)
+		}
+		if z > bottomM {
+			z = 2*bottomM - z
+			theta = -theta
+			snell = math.Cos(theta) / p.SpeedAt(z)
+		}
+		// Snell update: cosθ' = snell·c(z'), refracting toward slower
+		// water; at a turning point (cosθ' would exceed 1) the ray
+		// reverses vertical direction.
+		cosNew := snell * p.SpeedAt(z)
+		if cosNew >= 1 {
+			theta = -theta
+			snell = math.Cos(theta) / p.SpeedAt(z)
+		} else {
+			sign := 1.0
+			if theta < 0 {
+				sign = -1
+			}
+			theta = sign * math.Acos(cosNew)
+		}
+		ray = append(ray, RayPoint{r, z, theta})
+	}
+	return ray, nil
+}
+
+// ChannelAxisDepth numerically locates the profile's speed minimum
+// within [0, maxDepth] (the SOFAR axis).
+func ChannelAxisDepth(p SoundSpeedProfile, maxDepthM float64) (float64, error) {
+	if p == nil || maxDepthM <= 0 {
+		return 0, fmt.Errorf("acoustics: bad arguments")
+	}
+	best, bestZ := math.Inf(1), 0.0
+	for z := 0.0; z <= maxDepthM; z += maxDepthM / 2000 {
+		if c := p.SpeedAt(z); c < best {
+			best, bestZ = c, z
+		}
+	}
+	return bestZ, nil
+}

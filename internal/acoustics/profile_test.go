@@ -1,0 +1,165 @@
+package acoustics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMunkProfileShape(t *testing.T) {
+	m := CanonicalMunk()
+	// Minimum at the axis.
+	if c := m.SpeedAt(m.AxisDepthM); math.Abs(c-m.AxisSpeedMS) > 1e-9 {
+		t.Errorf("axis speed %g, want %g", c, m.AxisSpeedMS)
+	}
+	// Faster both above and below the axis.
+	if m.SpeedAt(0) <= m.AxisSpeedMS {
+		t.Error("surface should be faster than the axis")
+	}
+	if m.SpeedAt(4000) <= m.AxisSpeedMS {
+		t.Error("deep water should be faster than the axis")
+	}
+	// Monotone away from the axis.
+	if m.SpeedAt(500) <= m.SpeedAt(1000) {
+		t.Error("speed should fall approaching the axis from above")
+	}
+	if m.SpeedAt(3000) >= m.SpeedAt(4000) {
+		t.Error("speed should rise below the axis")
+	}
+}
+
+func TestChannelAxisDepth(t *testing.T) {
+	z, err := ChannelAxisDepth(CanonicalMunk(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z-1300) > 25 {
+		t.Errorf("axis at %g m, want ~1300", z)
+	}
+	if _, err := ChannelAxisDepth(nil, 100); err == nil {
+		t.Error("nil profile should error")
+	}
+}
+
+func TestLinearProfile(t *testing.T) {
+	l := LinearProfile{SurfaceSpeedMS: 1500, GradientPerS: 0.017}
+	if l.SpeedAt(0) != 1500 {
+		t.Error("surface speed wrong")
+	}
+	if math.Abs(l.SpeedAt(1000)-1517) > 1e-9 {
+		t.Errorf("speed at 1 km: %g", l.SpeedAt(1000))
+	}
+}
+
+func TestRayBendsTowardSlowWater(t *testing.T) {
+	// In a positive gradient (speed grows with depth), a downward ray
+	// refracts back up — upward refraction, the classic surface duct.
+	l := LinearProfile{SurfaceSpeedMS: 1490, GradientPerS: 0.05}
+	ray, err := TraceRay(l, 50, 0.05, 10, 5000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ray must turn: its maximum depth is bounded well above the
+	// bottom, and it returns shallower afterwards.
+	maxDepth, turnIdx := 0.0, 0
+	for i, pt := range ray {
+		if pt.DepthM > maxDepth {
+			maxDepth, turnIdx = pt.DepthM, i
+		}
+	}
+	if maxDepth > 2000 {
+		t.Fatalf("ray reached %g m; refraction should have turned it", maxDepth)
+	}
+	if turnIdx == len(ray)-1 {
+		t.Fatal("ray never turned upward")
+	}
+	if ray[len(ray)-1].DepthM >= maxDepth {
+		t.Error("ray should be shallower after the turning point")
+	}
+}
+
+func TestSOFARChannelTrapsRay(t *testing.T) {
+	// A shallow-angle ray launched at the Munk axis oscillates about it
+	// without hitting surface or bottom — the SOFAR waveguide.
+	m := CanonicalMunk()
+	ray, err := TraceRay(m, 1300, 0.05, 50, 5000, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minD, maxD := math.Inf(1), math.Inf(-1)
+	for _, pt := range ray {
+		minD = math.Min(minD, pt.DepthM)
+		maxD = math.Max(maxD, pt.DepthM)
+	}
+	if minD <= 1 || maxD >= 4999 {
+		t.Errorf("axis ray escaped the channel: depths [%g, %g]", minD, maxD)
+	}
+	// It should oscillate: crossing the axis several times.
+	crossings := 0
+	for i := 1; i < len(ray); i++ {
+		if (ray[i].DepthM-1300)*(ray[i-1].DepthM-1300) < 0 {
+			crossings++
+		}
+	}
+	if crossings < 4 {
+		t.Errorf("only %d axis crossings over 200 km; expected an oscillating trapped ray", crossings)
+	}
+}
+
+func TestIsovelocityRayIsStraight(t *testing.T) {
+	flat := LinearProfile{SurfaceSpeedMS: 1500, GradientPerS: 0}
+	ray, err := TraceRay(flat, 100, 0.1, 10, 10000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant angle, linear depth growth.
+	for _, pt := range ray {
+		if math.Abs(pt.AngleRad-0.1) > 1e-9 {
+			t.Fatalf("angle drifted to %g in isovelocity water", pt.AngleRad)
+		}
+	}
+	wantDepth := 100 + 1000*math.Tan(0.1)
+	if math.Abs(ray[len(ray)-1].DepthM-wantDepth) > 1e-6 {
+		t.Errorf("final depth %g, want %g", ray[len(ray)-1].DepthM, wantDepth)
+	}
+}
+
+func TestTraceRayReflections(t *testing.T) {
+	// A steep ray in shallow isovelocity water bounces between surface
+	// and bottom.
+	flat := LinearProfile{SurfaceSpeedMS: 1500, GradientPerS: 0}
+	ray, err := TraceRay(flat, 10, 0.4, 5, 50, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range ray {
+		if pt.DepthM < 0 || pt.DepthM > 50 {
+			t.Fatalf("ray left the water column: %g", pt.DepthM)
+		}
+	}
+	// Direction must flip multiple times.
+	flips := 0
+	for i := 1; i < len(ray); i++ {
+		if ray[i].AngleRad*ray[i-1].AngleRad < 0 {
+			flips++
+		}
+	}
+	if flips < 3 {
+		t.Errorf("only %d boundary flips", flips)
+	}
+}
+
+func TestTraceRayValidation(t *testing.T) {
+	flat := LinearProfile{SurfaceSpeedMS: 1500}
+	if _, err := TraceRay(nil, 10, 0.1, 5, 100, 10); err == nil {
+		t.Error("nil profile should error")
+	}
+	if _, err := TraceRay(flat, 10, 0.1, 0, 100, 10); err == nil {
+		t.Error("zero step should error")
+	}
+	if _, err := TraceRay(flat, 500, 0.1, 5, 100, 10); err == nil {
+		t.Error("source below bottom should error")
+	}
+	if _, err := TraceRay(flat, 10, math.Pi/2, 5, 100, 10); err == nil {
+		t.Error("vertical launch should error")
+	}
+}

@@ -1,0 +1,133 @@
+// Package audio reads and writes 16-bit mono PCM WAV files. The paper's
+// workflow ran through sound cards and Audacity (§5.1); this package
+// lets the simulator export its projector and hydrophone waveforms in
+// the same currency, so a recording can be inspected in any audio tool —
+// or even played into real hardware.
+package audio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// maxInt16 is the positive full-scale PCM value.
+const maxInt16 = 32767
+
+// WriteWAV emits samples (arbitrary float64 units) as a 16-bit mono PCM
+// WAV at the given sample rate. When normalize is true the waveform is
+// scaled so its peak sits at 90% of full scale (an operator trimming
+// record levels); otherwise samples are interpreted as already being in
+// [-1, 1] and clipped.
+func WriteWAV(w io.Writer, sampleRate int, samples []float64, normalize bool) error {
+	if sampleRate <= 0 {
+		return fmt.Errorf("audio: sample rate must be positive, got %d", sampleRate)
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("audio: no samples")
+	}
+	scale := 1.0
+	if normalize {
+		peak := 0.0
+		for _, s := range samples {
+			if a := math.Abs(s); a > peak {
+				peak = a
+			}
+		}
+		if peak > 0 {
+			scale = 0.9 / peak
+		}
+	}
+
+	dataBytes := uint32(len(samples) * 2)
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], 36+dataBytes)
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16) // PCM fmt chunk size
+	binary.LittleEndian.PutUint16(hdr[20:22], 1)  // PCM
+	binary.LittleEndian.PutUint16(hdr[22:24], 1)  // mono
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(sampleRate))
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(sampleRate*2)) // byte rate
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)                    // block align
+	binary.LittleEndian.PutUint16(hdr[34:36], 16)                   // bits/sample
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], dataBytes)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	buf := make([]byte, 2*len(samples))
+	for i, s := range samples {
+		v := s * scale
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(int16(math.Round(v*maxInt16))))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadWAV parses a 16-bit mono PCM WAV, returning the sample rate and
+// the samples scaled to [-1, 1].
+func ReadWAV(r io.Reader) (sampleRate int, samples []float64, err error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("audio: short RIFF header: %w", err)
+	}
+	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" {
+		return 0, nil, fmt.Errorf("audio: not a RIFF/WAVE file")
+	}
+	var fmtSeen bool
+	var channels, bits int
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			return 0, nil, fmt.Errorf("audio: truncated chunk header: %w", err)
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:8])
+		switch id {
+		case "fmt ":
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return 0, nil, err
+			}
+			if format := binary.LittleEndian.Uint16(body[0:2]); format != 1 {
+				return 0, nil, fmt.Errorf("audio: unsupported format %d (want PCM)", format)
+			}
+			channels = int(binary.LittleEndian.Uint16(body[2:4]))
+			sampleRate = int(binary.LittleEndian.Uint32(body[4:8]))
+			bits = int(binary.LittleEndian.Uint16(body[14:16]))
+			if channels != 1 || bits != 16 {
+				return 0, nil, fmt.Errorf("audio: unsupported layout: %d ch, %d bit (want mono 16-bit)", channels, bits)
+			}
+			fmtSeen = true
+		case "data":
+			if !fmtSeen {
+				return 0, nil, fmt.Errorf("audio: data chunk before fmt")
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return 0, nil, err
+			}
+			n := int(size) / 2
+			samples = make([]float64, n)
+			for i := 0; i < n; i++ {
+				v := int16(binary.LittleEndian.Uint16(body[2*i:]))
+				samples[i] = float64(v) / maxInt16
+			}
+			return sampleRate, samples, nil
+		default:
+			// Skip unknown chunks (LIST, etc.).
+			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+}

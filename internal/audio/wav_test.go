@@ -1,0 +1,140 @@
+package audio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := make([]float64, 4800)
+	for i := range in {
+		in[i] = rng.Float64()*1.8 - 0.9 // already within range
+	}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, 96000, in, false); err != nil {
+		t.Fatal(err)
+	}
+	fs, out, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs != 96000 {
+		t.Errorf("sample rate %d", fs)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("length %d, want %d", len(out), len(in))
+	}
+	lsb := 1.0 / maxInt16
+	for i := range in {
+		if math.Abs(out[i]-in[i]) > lsb {
+			t.Fatalf("sample %d: %g vs %g", i, out[i], in[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = rng.Float64()*2 - 1
+		}
+		var buf bytes.Buffer
+		if err := WriteWAV(&buf, 48000, in, false); err != nil {
+			return false
+		}
+		_, out, err := ReadWAV(&buf)
+		if err != nil || len(out) != n {
+			return false
+		}
+		for i := range in {
+			if math.Abs(out[i]-in[i]) > 2.0/maxInt16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	// Pressure-scale samples (thousands of Pa) normalise to 90% FS.
+	in := []float64{0, 5000, -5000, 2500}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, 96000, in, true); err != nil {
+		t.Fatal(err)
+	}
+	_, out, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[1]-0.9) > 0.001 || math.Abs(out[2]+0.9) > 0.001 {
+		t.Errorf("peaks %g/%g, want ±0.9", out[1], out[2])
+	}
+	if math.Abs(out[3]-0.45) > 0.001 {
+		t.Errorf("half-scale sample %g, want 0.45", out[3])
+	}
+}
+
+func TestClippingWithoutNormalize(t *testing.T) {
+	in := []float64{3.0, -3.0}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, 96000, in, false); err != nil {
+		t.Fatal(err)
+	}
+	_, out, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-1) > 0.001 || math.Abs(out[1]+1) > 0.001 {
+		t.Errorf("clipped samples %v", out)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, 0, []float64{1}, false); err == nil {
+		t.Error("zero sample rate should error")
+	}
+	if err := WriteWAV(&buf, 96000, nil, false); err == nil {
+		t.Error("empty samples should error")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, _, err := ReadWAV(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage should error")
+	}
+	// Valid RIFF but wrong magic.
+	bad := append([]byte("RIFF\x00\x00\x00\x00JUNK"), make([]byte, 8)...)
+	if _, _, err := ReadWAV(bytes.NewReader(bad)); err == nil {
+		t.Error("non-WAVE should error")
+	}
+}
+
+func TestReadSkipsUnknownChunks(t *testing.T) {
+	// Write a normal file, then splice an unknown chunk before data.
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, 44100, []float64{0.5, -0.5}, false); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Insert a LIST chunk between fmt (ends at byte 36) and data.
+	spliced := append([]byte{}, raw[:36]...)
+	spliced = append(spliced, 'L', 'I', 'S', 'T', 4, 0, 0, 0, 1, 2, 3, 4)
+	spliced = append(spliced, raw[36:]...)
+	fs, out, err := ReadWAV(bytes.NewReader(spliced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs != 44100 || len(out) != 2 {
+		t.Errorf("fs %d, %d samples", fs, len(out))
+	}
+}

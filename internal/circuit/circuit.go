@@ -1,0 +1,250 @@
+// Package circuit provides the lumped-element circuit analysis the PAB
+// front-end is designed with: complex impedances of R/L/C elements,
+// L-section impedance matching networks, and the power-wave reflection
+// coefficient (paper Eq. 2) that governs backscatter modulation depth and
+// energy-harvesting efficiency.
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Impedance is a complex impedance in ohms.
+type Impedance = complex128
+
+// ResistorZ returns the impedance of a resistor (frequency independent).
+func ResistorZ(ohms float64) Impedance {
+	return complex(ohms, 0)
+}
+
+// InductorZ returns the impedance jωL of an inductor at frequency f (Hz).
+func InductorZ(henries, f float64) Impedance {
+	return complex(0, 2*math.Pi*f*henries)
+}
+
+// CapacitorZ returns the impedance 1/(jωC) of a capacitor at frequency f
+// (Hz). A zero capacitance or frequency yields an open circuit (infinite
+// impedance is represented as a very large real impedance to avoid NaNs).
+func CapacitorZ(farads, f float64) Impedance {
+	w := 2 * math.Pi * f * farads
+	if w == 0 {
+		return complex(1e18, 0)
+	}
+	return complex(0, -1/w)
+}
+
+// Series returns the series combination of impedances.
+func Series(zs ...Impedance) Impedance {
+	var sum Impedance
+	for _, z := range zs {
+		sum += z
+	}
+	return sum
+}
+
+// Parallel returns the parallel combination of impedances. Zero-valued
+// impedances short the network (returning 0).
+func Parallel(zs ...Impedance) Impedance {
+	var sumY complex128
+	for _, z := range zs {
+		if z == 0 {
+			return 0
+		}
+		sumY += 1 / z
+	}
+	if sumY == 0 {
+		return complex(1e18, 0)
+	}
+	return 1 / sumY
+}
+
+// ReflectionCoefficient returns the power-wave reflection coefficient
+// Γ = (ZL − Zs*)/(ZL + Zs) between a source impedance Zs and load ZL.
+// |Γ|² is the fraction of incident power reflected (paper Eq. 2):
+// ZL = 0 (shorted terminals) reflects everything; ZL = Zs* (conjugate
+// match) reflects nothing and transfers maximum power to the load.
+func ReflectionCoefficient(zLoad, zSource Impedance) complex128 {
+	den := zLoad + zSource
+	if den == 0 {
+		return complex(1, 0)
+	}
+	return (zLoad - cmplx.Conj(zSource)) / den
+}
+
+// ReflectedPowerFraction returns |Γ|², clamped to [0, 1] for passive
+// terminations (numerical noise can push it marginally outside).
+func ReflectedPowerFraction(zLoad, zSource Impedance) float64 {
+	g := cmplx.Abs(ReflectionCoefficient(zLoad, zSource))
+	p := g * g
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// TransferredPowerFraction returns 1 − |Γ|², the fraction of incident
+// power delivered to the load (the energy-harvesting path).
+func TransferredPowerFraction(zLoad, zSource Impedance) float64 {
+	return 1 - ReflectedPowerFraction(zLoad, zSource)
+}
+
+// LSection is a two-element impedance matching network: a series element
+// followed by a shunt element across the load (or the reverse, depending
+// on topology). Element reactances are stored as component values so the
+// network can be evaluated at any frequency — this frequency dependence is
+// exactly what the recto-piezo design exploits to move the resonance
+// (paper §3.3.1).
+type LSection struct {
+	// SeriesL and SeriesC form the series arm (either may be zero/absent).
+	SeriesL float64 // henries
+	SeriesC float64 // farads
+	// ShuntL and ShuntC form the shunt arm across the load.
+	ShuntL float64 // henries
+	ShuntC float64 // farads
+	// ShuntFirst selects the topology: true = shunt element on the
+	// source side, series element toward the load.
+	ShuntFirst bool
+	// InductorQ models inductor loss: each inductor carries a series
+	// resistance ωL/InductorQ. Zero means ideal (lossless) inductors.
+	// Real wound inductors at these frequencies have Q ≈ 30–80; the loss
+	// matters off-resonance, where it keeps the network from presenting
+	// a perfect reflector (it dissipates part of the incident wave).
+	InductorQ float64
+}
+
+// inductorZ returns the (possibly lossy) impedance of an inductor.
+func (m LSection) inductorZ(henries, f float64) Impedance {
+	z := InductorZ(henries, f)
+	if m.InductorQ > 0 {
+		z += complex(2*math.Pi*f*henries/m.InductorQ, 0)
+	}
+	return z
+}
+
+// seriesZ returns the series arm impedance at frequency f.
+func (m LSection) seriesZ(f float64) Impedance {
+	z := Impedance(0)
+	if m.SeriesL > 0 {
+		z += m.inductorZ(m.SeriesL, f)
+	}
+	if m.SeriesC > 0 {
+		z = Series(z, CapacitorZ(m.SeriesC, f))
+	}
+	return z
+}
+
+// shuntZ returns the shunt arm impedance at frequency f, or an open
+// circuit when absent.
+func (m LSection) shuntZ(f float64) Impedance {
+	switch {
+	case m.ShuntL > 0 && m.ShuntC > 0:
+		return Parallel(m.inductorZ(m.ShuntL, f), CapacitorZ(m.ShuntC, f))
+	case m.ShuntL > 0:
+		return m.inductorZ(m.ShuntL, f)
+	case m.ShuntC > 0:
+		return CapacitorZ(m.ShuntC, f)
+	default:
+		return complex(1e18, 0)
+	}
+}
+
+// TransformLoad returns the impedance seen looking into the network from
+// the source side when the far side is terminated with zLoad, at
+// frequency f.
+func (m LSection) TransformLoad(zLoad Impedance, f float64) Impedance {
+	if m.ShuntFirst {
+		// Source → shunt → series → load.
+		return Parallel(m.shuntZ(f), Series(m.seriesZ(f), zLoad))
+	}
+	// Source → series → shunt∥load.
+	return Series(m.seriesZ(f), Parallel(m.shuntZ(f), zLoad))
+}
+
+// DesignLSection designs an L-section that transforms the real part of
+// zLoad up/down to present the conjugate of zSource at frequency f. It
+// implements the textbook analytic design (Q = √(Rbig/Rsmall − 1)), after
+// first resonating out the reactive parts of both terminations.
+//
+// The returned network satisfies TransformLoad(zLoad, f) ≈ conj(zSource),
+// which maximises power transfer into the load (paper §3.2: "to ensure
+// maximum power transfer ... our front-end employs an impedance matching
+// network").
+func DesignLSection(zSource, zLoad Impedance, f float64) (LSection, error) {
+	rs, xs := real(zSource), imag(zSource)
+	rl, xl := real(zLoad), imag(zLoad)
+	if rs <= 0 || rl <= 0 {
+		return LSection{}, fmt.Errorf("circuit: source and load must have positive resistance (got %v, %v)", zSource, zLoad)
+	}
+	if f <= 0 {
+		return LSection{}, fmt.Errorf("circuit: frequency must be positive, got %g", f)
+	}
+	w := 2 * math.Pi * f
+
+	var net LSection
+	// Topology A: shunt across the load, series arm toward the source.
+	// Zin = jX + 1/(Y_load + jB). Choose B so Re(1/(Y+jB)) = rs, then X
+	// so Im(Zin) = −xs (conjugate of the source). Feasible iff rs ≤ 1/gL.
+	gL := rl / (rl*rl + xl*xl)
+	bL := -xl / (rl*rl + xl*xl)
+	if rs*gL <= 1 {
+		beta := math.Sqrt(gL/rs - gL*gL) // Im(Y_load + jB) after shunting
+		b := beta - bL
+		imZ := -beta / (gL*gL + beta*beta)
+		x := -xs - imZ
+		net.ShuntFirst = false
+		net.setShunt(b, w)
+		net.setSeries(x, w)
+		return net, nil
+	}
+	// Topology B: series arm toward the load, shunt across the source
+	// side. Yin = jB + 1/(zl + jX). Choose X so Re(1/(zl+jX)) = gWant,
+	// then B so Im(Yin) = bWant, where Yin must equal 1/conj(zSource).
+	gWant := rs / (rs*rs + xs*xs)
+	bWant := xs / (rs*rs + xs*xs)
+	if disc := rl/gWant - rl*rl; disc >= 0 {
+		x := math.Sqrt(disc) - xl
+		y2 := 1 / complex(rl, xl+x)
+		b := bWant - imag(y2)
+		net.ShuntFirst = true
+		net.setShunt(b, w)
+		net.setSeries(x, w)
+		return net, nil
+	}
+	return LSection{}, fmt.Errorf("circuit: no single L-section matches source %v to load %v", zSource, zLoad)
+}
+
+// setSeries realises a series reactance x (ohms) at angular frequency w
+// as an inductor (x > 0) or capacitor (x < 0).
+func (m *LSection) setSeries(x, w float64) {
+	switch {
+	case x > 0:
+		m.SeriesL = x / w
+	case x < 0:
+		m.SeriesC = -1 / (x * w)
+	}
+}
+
+// setShunt realises a shunt susceptance b (siemens) at angular frequency
+// w as a capacitor (b > 0) or inductor (b < 0).
+func (m *LSection) setShunt(b, w float64) {
+	switch {
+	case b > 0:
+		m.ShuntC = b / w
+	case b < 0:
+		m.ShuntL = -1 / (b * w)
+	}
+}
+
+// MatchQuality returns the power transfer fraction 1 − |Γ|² achieved by
+// the network between zSource and zLoad at frequency f. 1.0 is a perfect
+// match; it degrades off the design frequency — the selectivity that the
+// recto-piezo exploits.
+func (m LSection) MatchQuality(zSource, zLoad Impedance, f float64) float64 {
+	zin := m.TransformLoad(zLoad, f)
+	return TransferredPowerFraction(zin, zSource)
+}

@@ -1,0 +1,179 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestElementImpedances(t *testing.T) {
+	f := 15000.0
+	w := 2 * math.Pi * f
+	if z := ResistorZ(50); z != complex(50, 0) {
+		t.Errorf("resistor: %v", z)
+	}
+	zL := InductorZ(1e-3, f)
+	if math.Abs(imag(zL)-w*1e-3) > 1e-9 || real(zL) != 0 {
+		t.Errorf("inductor: %v", zL)
+	}
+	zC := CapacitorZ(1e-6, f)
+	if math.Abs(imag(zC)+1/(w*1e-6)) > 1e-9 || real(zC) != 0 {
+		t.Errorf("capacitor: %v", zC)
+	}
+	// Open circuit for zero C.
+	if real(CapacitorZ(0, f)) < 1e12 {
+		t.Error("zero capacitance should be an open circuit")
+	}
+}
+
+func TestSeriesParallel(t *testing.T) {
+	a, b := complex(30, 40), complex(10, -20)
+	if got := Series(a, b); got != complex(40, 20) {
+		t.Errorf("series: %v", got)
+	}
+	got := Parallel(complex(100, 0), complex(100, 0))
+	if cmplx.Abs(got-complex(50, 0)) > 1e-9 {
+		t.Errorf("parallel equal resistors: %v", got)
+	}
+	if Parallel(complex(100, 0), 0) != 0 {
+		t.Error("parallel with short should be short")
+	}
+	if real(Parallel()) < 1e12 {
+		t.Error("empty parallel should be open")
+	}
+}
+
+func TestLCResonance(t *testing.T) {
+	// Series LC resonates (|Z| minimum ≈ 0) at f0 = 1/(2π√(LC)).
+	l, c := 10e-3, 11.1e-9
+	f0 := 1 / (2 * math.Pi * math.Sqrt(l*c))
+	z := Series(InductorZ(l, f0), CapacitorZ(c, f0))
+	if cmplx.Abs(z) > 1 {
+		t.Errorf("series LC at resonance: |Z| = %g, want ~0", cmplx.Abs(z))
+	}
+}
+
+func TestReflectionCoefficientStates(t *testing.T) {
+	zs := complex(50, 30)
+	// Shorted load: everything reflects (|Γ| = 1). This is PAB's
+	// reflective state.
+	if p := ReflectedPowerFraction(0, zs); math.Abs(p-1) > 1e-9 {
+		t.Errorf("short: reflected %g, want 1", p)
+	}
+	// Conjugate match: nothing reflects. This is PAB's absorptive state.
+	if p := ReflectedPowerFraction(cmplx.Conj(zs), zs); p > 1e-12 {
+		t.Errorf("conjugate match: reflected %g, want 0", p)
+	}
+	// Energy conservation.
+	if tr := TransferredPowerFraction(cmplx.Conj(zs), zs); math.Abs(tr-1) > 1e-9 {
+		t.Errorf("match transfers %g, want 1", tr)
+	}
+}
+
+func TestReflectionBoundedForPassiveLoads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		zs := complex(1+99*rng.Float64(), 200*rng.Float64()-100)
+		zl := complex(1+999*rng.Float64(), 2000*rng.Float64()-1000)
+		p := ReflectedPowerFraction(zl, zs)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDesignLSectionRealToReal(t *testing.T) {
+	// Classic 50 Ω → 200 Ω match.
+	zs, zl := complex(50, 0), complex(200, 0)
+	f := 15000.0
+	net, err := DesignLSection(zs, zl, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zin := net.TransformLoad(zl, f)
+	if cmplx.Abs(zin-cmplx.Conj(zs)) > 0.01*cmplx.Abs(zs) {
+		t.Errorf("Zin = %v, want %v", zin, cmplx.Conj(zs))
+	}
+	if q := net.MatchQuality(zs, zl, f); q < 0.9999 {
+		t.Errorf("match quality %g, want ~1", q)
+	}
+}
+
+func TestDesignLSectionComplexSource(t *testing.T) {
+	// A piezo-like source: resistive + strong capacitive reactance.
+	zs := complex(800, -2500)
+	zl := complex(3000, 0) // rectifier input
+	f := 15000.0
+	net, err := DesignLSection(zs, zl, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zin := net.TransformLoad(zl, f)
+	if cmplx.Abs(zin-cmplx.Conj(zs)) > 0.02*cmplx.Abs(zs) {
+		t.Errorf("Zin = %v, want %v", zin, cmplx.Conj(zs))
+	}
+	if q := net.MatchQuality(zs, zl, f); q < 0.999 {
+		t.Errorf("match quality %g, want ~1", q)
+	}
+}
+
+func TestDesignLSectionRandomised(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		zs := complex(10+500*rng.Float64(), 1000*rng.Float64()-500)
+		zl := complex(10+5000*rng.Float64(), 2000*rng.Float64()-1000)
+		freq := 12000 + 6000*rng.Float64()
+		net, err := DesignLSection(zs, zl, freq)
+		if err != nil {
+			return true // some combos are legitimately unmatched by one L
+		}
+		return net.MatchQuality(zs, zl, freq) > 0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchQualityDegradesOffFrequency(t *testing.T) {
+	// The selectivity that recto-piezos exploit: a match designed at
+	// 15 kHz transfers less power at 18 kHz.
+	zs := complex(500, -1800)
+	zl := complex(2500, 0)
+	net, err := DesignLSection(zs, zl, 15000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at15 := net.MatchQuality(zs, zl, 15000)
+	at18 := net.MatchQuality(zs, zl, 18000)
+	if at15 < 0.999 {
+		t.Errorf("on-frequency quality %g", at15)
+	}
+	if at18 >= at15 {
+		t.Errorf("off-frequency quality %g should be below on-frequency %g", at18, at15)
+	}
+}
+
+func TestDesignLSectionErrors(t *testing.T) {
+	if _, err := DesignLSection(complex(-50, 0), complex(100, 0), 15000); err == nil {
+		t.Error("negative source resistance should error")
+	}
+	if _, err := DesignLSection(complex(50, 0), complex(0, 10), 15000); err == nil {
+		t.Error("zero load resistance should error")
+	}
+	if _, err := DesignLSection(complex(50, 0), complex(100, 0), 0); err == nil {
+		t.Error("zero frequency should error")
+	}
+}
+
+func TestTransformLoadNoNetwork(t *testing.T) {
+	// An empty L-section passes the load through (open shunt, zero series).
+	var net LSection
+	zl := complex(123, -45)
+	zin := net.TransformLoad(zl, 15000)
+	if cmplx.Abs(zin-zl) > 1e-3*cmplx.Abs(zl) {
+		t.Errorf("empty network Zin = %v, want %v", zin, zl)
+	}
+}

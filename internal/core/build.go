@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"pab/internal/frame"
+	"pab/internal/node"
+	"pab/internal/piezo"
+	"pab/internal/projector"
+	"pab/internal/rectifier"
+	"pab/internal/sensors"
+)
+
+// NewPaperNode builds a battery-free node exactly as fabricated in the
+// paper (§4): the 17 kHz air-backed cylinder, the 3-stage rectifier PCB,
+// the 1000 µF supercapacitor behind an LP5900 LDO, an MSP430-class MCU,
+// and two recto-piezo matching circuits (15 kHz and 18 kHz).
+func NewPaperNode(addr byte, bitrateBps float64, env sensors.Environment) (*node.Node, error) {
+	tr, err := piezo.New(piezo.PaperCylinder())
+	if err != nil {
+		return nil, err
+	}
+	fe15, err := node.NewRectoPiezo(tr, rectifier.Paper(), 15000)
+	if err != nil {
+		return nil, err
+	}
+	fe18, err := node.NewRectoPiezo(tr, rectifier.Paper(), 18000)
+	if err != nil {
+		return nil, err
+	}
+	return node.New(node.Config{
+		Addr:       addr,
+		FrontEnds:  []*node.RectoPiezo{fe15, fe18},
+		MCU:        node.PaperMCU(),
+		Cap:        rectifier.PaperSupercap(),
+		LDO:        rectifier.PaperLDO(),
+		BitrateBps: bitrateBps,
+		Env:        env,
+	})
+}
+
+// buildNodeAt builds a node with a single recto-piezo circuit tuned to
+// an arbitrary channel frequency — the knob an FDMA deployment turns
+// per node (§3.3.1).
+func buildNodeAt(addr byte, bitrateBps, tunedHz float64, env sensors.Environment) (*node.Node, error) {
+	tr, err := piezo.New(piezo.PaperCylinder())
+	if err != nil {
+		return nil, err
+	}
+	fe, err := node.NewRectoPiezo(tr, rectifier.Paper(), tunedHz)
+	if err != nil {
+		return nil, err
+	}
+	return node.New(node.Config{
+		Addr:       addr,
+		FrontEnds:  []*node.RectoPiezo{fe},
+		MCU:        node.PaperMCU(),
+		Cap:        rectifier.PaperSupercap(),
+		LDO:        rectifier.PaperLDO(),
+		BitrateBps: bitrateBps,
+		Env:        env,
+	})
+}
+
+// NewBatteryAssistedNode builds the §1 future-work hybrid: the same
+// recto-piezo backscatter node carrying a small primary battery
+// (capacity in joules) that covers the digital draw when harvesting
+// falls short. Communication stays pure backscatter, so the battery
+// drains at microwatts — the configuration the paper suggests "would
+// enable deep-sea deployments and exploration".
+func NewBatteryAssistedNode(addr byte, bitrateBps, batteryJ float64, env sensors.Environment) (*node.Node, error) {
+	tr, err := piezo.New(piezo.PaperCylinder())
+	if err != nil {
+		return nil, err
+	}
+	fe15, err := node.NewRectoPiezo(tr, rectifier.Paper(), 15000)
+	if err != nil {
+		return nil, err
+	}
+	fe18, err := node.NewRectoPiezo(tr, rectifier.Paper(), 18000)
+	if err != nil {
+		return nil, err
+	}
+	return node.New(node.Config{
+		Addr:       addr,
+		FrontEnds:  []*node.RectoPiezo{fe15, fe18},
+		MCU:        node.PaperMCU(),
+		Cap:        rectifier.PaperSupercap(),
+		LDO:        rectifier.PaperLDO(),
+		BitrateBps: bitrateBps,
+		BatteryJ:   batteryJ,
+		Env:        env,
+	})
+}
+
+// NewPaperProjector builds the downlink transmitter of §5.1a: an
+// in-house transducer of the same design driven by a power amplifier
+// capable of 350 V.
+func NewPaperProjector(fs float64) (*projector.Projector, error) {
+	tr, err := piezo.New(piezo.PaperCylinder())
+	if err != nil {
+		return nil, err
+	}
+	return projector.New(tr, 350, fs)
+}
+
+// Exchange runs one interrogation cycle and reports it in MAC-friendly
+// terms: the decoded reply (nil when the CRC failed or the node stayed
+// silent), the cycle airtime, and the uplink SNR estimate. It satisfies
+// the mac.Transport contract via a thin adapter.
+func (l *Link) Exchange(q frame.Query) (reply *frame.DataFrame, airtimeSeconds, snrLinear float64, err error) {
+	res, err := l.RunQuery(q)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	airtime := float64(len(res.Recording)) / l.cfg.SampleRate
+	if res.Decoded == nil {
+		return nil, airtime, 0, nil
+	}
+	if res.UplinkBER > 0 || len(res.Decoded.Frame.Payload) == 0 && res.Decoded.Bits == nil {
+		return nil, airtime, res.Decoded.SNRLinear, nil
+	}
+	if res.Decoded.Bits == nil {
+		// SNR-only measurement (CRC failed).
+		return nil, airtime, res.Decoded.SNRLinear, nil
+	}
+	df := res.Decoded.Frame
+	return &df, airtime, res.Decoded.SNRLinear, nil
+}
+
+// EnsurePowered powers the node up if it is cold, returning a
+// descriptive error when the link budget cannot charge it within
+// maxSeconds of simulated time.
+func (l *Link) EnsurePowered(maxSeconds float64) error {
+	if l.node.State() != node.Off {
+		return nil
+	}
+	if !l.PowerUp(maxSeconds) {
+		return fmt.Errorf("core: node failed to power up within %.0f s (cap %.2f V)", maxSeconds, l.node.CapVoltage())
+	}
+	return nil
+}

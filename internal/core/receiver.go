@@ -1,0 +1,579 @@
+// Package core wires the PAB system together: projector → tank channel →
+// battery-free node → hydrophone → offline decoder, at the sample level.
+// It is the paper's primary contribution — underwater backscatter
+// communication (§3), recto-piezo multiple access (§3.3.1) and collision
+// decoding (§3.3.2) — running end to end over the simulated substrates.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"pab/internal/dsp"
+	"pab/internal/frame"
+	"pab/internal/hydrophone"
+	"pab/internal/phy"
+)
+
+// Receiver is the hydrophone-side offline decoder (paper §5.1b): FFT
+// carrier identification, downconversion, Butterworth channel filtering,
+// packet detection, CFO correction and ML FM0 decoding.
+type Receiver struct {
+	Hydro      hydrophone.Hydrophone
+	SampleRate float64
+	// FilterOrder of the Butterworth low-pass used after mixing.
+	FilterOrder int
+	// DetectThreshold is the normalised preamble correlation threshold.
+	DetectThreshold float64
+}
+
+// NewReceiver returns the paper's receiver configuration.
+func NewReceiver(fs float64) (*Receiver, error) {
+	if fs <= 0 {
+		return nil, fmt.Errorf("core: sample rate must be positive, got %g", fs)
+	}
+	hyd := hydrophone.H2a()
+	hyd.AutoGain = true // the operator trims the input level to avoid clipping
+	return &Receiver{
+		Hydro:           hyd,
+		SampleRate:      fs,
+		FilterOrder:     4,
+		DetectThreshold: 0.55,
+	}, nil
+}
+
+// FindCarriers identifies up to maxN downlink carrier frequencies in a
+// recording by FFT peak detection (§5.1b).
+func (r *Receiver) FindCarriers(recording []float64, maxN int) []float64 {
+	peaks := dsp.FindPeaks(recording, r.SampleRate, maxN, 1000, 0)
+	out := make([]float64, 0, len(peaks))
+	for _, p := range peaks {
+		out = append(out, p.Frequency)
+	}
+	return out
+}
+
+// Demodulate mixes the recording down by the carrier and low-pass
+// filters, returning the complex baseband whose magnitude is the
+// amplitude trace of Fig 2. The cutoff tracks the backscatter bandwidth.
+func (r *Receiver) Demodulate(recording []float64, carrier, bitrate float64) ([]complex128, error) {
+	// Four times the FM0 occupied bandwidth keeps the bit transitions
+	// sharp enough for the half-bit correlators.
+	cutoff := 4 * phy.OccupiedBandwidth(bitrate)
+	if cutoff < 200 {
+		cutoff = 200
+	}
+	if cutoff > r.SampleRate/4 {
+		cutoff = r.SampleRate / 4
+	}
+	return r.DemodulateBand(recording, carrier, cutoff)
+}
+
+// DemodulateBand is Demodulate with an explicit low-pass cutoff — needed
+// when concurrent carriers sit close together and the channel filter
+// must reject the neighbour (§5.1b's per-channel Butterworth filters).
+func (r *Receiver) DemodulateBand(recording []float64, carrier, cutoff float64) ([]complex128, error) {
+	if cutoff > r.SampleRate/4 {
+		cutoff = r.SampleRate / 4
+	}
+	return dsp.DownconvertLP(recording, carrier, r.SampleRate, cutoff, r.FilterOrder)
+}
+
+// CoherentWave projects a complex baseband stream onto its modulation
+// axis: it removes the mean (the un-modulated direct carrier), estimates
+// the modulation phasor direction from the second moment of the
+// residual, and returns the real projection. This recovers the full
+// backscatter swing even when the reflected path arrives in quadrature
+// with the direct carrier — where plain envelope detection sees almost
+// nothing (deep multipath fading, the location dependence of Fig 10).
+func CoherentWave(bb []complex128) []float64 {
+	return projectAxis(bb, estimateAxis(bb))
+}
+
+// modAxis is an estimated modulation axis: the carrier mean and the unit
+// rotation that brings the modulation onto the real axis.
+type modAxis struct {
+	mean complex128
+	rot  complex128
+}
+
+// estimateAxis fits the axis over a segment (ideally one known to
+// contain modulation, such as a detected preamble).
+func estimateAxis(seg []complex128) modAxis {
+	if len(seg) == 0 {
+		return modAxis{rot: 1}
+	}
+	var mean complex128
+	for _, v := range seg {
+		mean += v
+	}
+	mean /= complex(float64(len(seg)), 0)
+	var acc complex128
+	for _, v := range seg {
+		d := v - mean
+		acc += d * d
+	}
+	theta := cmplx.Phase(acc) / 2
+	return modAxis{mean: mean, rot: cmplx.Exp(complex(0, -theta))}
+}
+
+// projectAxis applies an axis estimate to a whole stream.
+func projectAxis(bb []complex128, a modAxis) []float64 {
+	out := make([]float64, len(bb))
+	for i, v := range bb {
+		out[i] = real((v - a.mean) * a.rot)
+	}
+	return out
+}
+
+// CoherentWaveTracked projects bb onto a slowly *rotating* modulation
+// axis: the axis is re-estimated per block and the per-block 180°
+// ambiguity is resolved by phase continuity with the previous block.
+// This is the mobile-receiver upgrade the paper's §8 anticipates — a
+// drifting node Doppler-rotates the backscatter phasor through the
+// packet, which a fixed-axis projection smears.
+func CoherentWaveTracked(bb []complex128, blockLen int) []float64 {
+	if len(bb) == 0 {
+		return nil
+	}
+	if blockLen < 8 || blockLen > len(bb) {
+		return CoherentWave(bb)
+	}
+	out := make([]float64, len(bb))
+	prevRot := complex(1, 0)
+	havePrev := false
+	for start := 0; start < len(bb); start += blockLen {
+		end := start + blockLen
+		if end > len(bb) {
+			end = len(bb)
+		}
+		a := estimateAxis(bb[start:end])
+		if havePrev {
+			// The second-moment axis is defined modulo 180°; pick the
+			// sign that stays continuous with the previous block.
+			if real(a.rot*cmplx.Conj(prevRot)) < 0 {
+				a.rot = -a.rot
+			}
+		}
+		prevRot = a.rot
+		havePrev = true
+		for i := start; i < end; i++ {
+			out[i] = real((bb[i] - a.mean) * a.rot)
+		}
+	}
+	return out
+}
+
+// Decoded is the result of decoding one uplink packet.
+type Decoded struct {
+	// Frame is the CRC-verified data frame.
+	Frame frame.DataFrame
+	// Bits are the raw decoded payload-section bits (post-preamble).
+	Bits []phy.Bit
+	// SNRLinear is the paper's §6.1a estimate over the packet.
+	SNRLinear float64
+	// Sync describes where the packet was found.
+	Sync phy.Sync
+	// CFOHz is the estimated carrier frequency offset.
+	CFOHz float64
+}
+
+// SNRdB returns the SNR in decibels.
+func (d *Decoded) SNRdB() float64 {
+	if d.SNRLinear <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(d.SNRLinear)
+}
+
+// DecodeUplink runs the full uplink receive chain on a pressure-domain
+// recording: record through the hydrophone, demodulate at the carrier,
+// detect the FM0 preamble, and decode a length-prefixed data frame at
+// the given backscatter bitrate.
+//
+// searchFrom gates the decoder to the samples after the reader's own
+// downlink query: the reader transmitted the query itself, so it knows
+// when its PWM keying ended, and the huge downlink amplitude swings
+// would otherwise dominate the modulation-axis estimate.
+func (r *Receiver) DecodeUplink(pressure []float64, carrier, bitrate float64, searchFrom int) (*Decoded, error) {
+	volts, err := r.Hydro.Record(pressure)
+	if err != nil {
+		return nil, err
+	}
+	bb, err := r.Demodulate(volts, carrier, bitrate)
+	if err != nil {
+		return nil, err
+	}
+	if searchFrom < 0 {
+		searchFrom = 0
+	}
+	if searchFrom >= len(bb) {
+		return nil, fmt.Errorf("core: search start %d beyond recording %d", searchFrom, len(bb))
+	}
+	bb = bb[searchFrom:]
+	// Estimate and remove the projector/hydrophone oscillator offset
+	// (footnote 12). Multipath-skewed spectra can bias the estimator, so
+	// the correction is only kept when it measurably concentrates the
+	// carrier.
+	bb, cfo := r.correctCFOIfReal(bb)
+	spb, err := phy.SamplesPerBitFor(r.SampleRate, bitrate)
+	if err != nil {
+		return nil, err
+	}
+	fm0, err := phy.NewFM0(spb)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := r.detectRefinedAll(bb, fm0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Try candidates in score order; the CRC arbitrates which lock is
+	// the real packet (payload structure can out-correlate the preamble
+	// under heavy ISI).
+	var firstErr error
+	for _, c := range cands {
+		dec, err := r.decodeAt(bb, c.wave, c.sync, fm0)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		dec.Sync.Index += searchFrom
+		dec.Sync.PayloadIndex += searchFrom
+		dec.CFOHz = cfo
+		return dec, nil
+	}
+	// Last resort: a Doppler-rotating channel (moving node) smears every
+	// fixed-axis projection; retry on block-tracked projections, finer
+	// blocks tolerating faster rotation at the cost of noisier per-block
+	// axis estimates.
+	preLen := len(phy.PreambleBits) * spb
+	for _, block := range []int{preLen, preLen / 2, preLen / 4} {
+		tracked := CoherentWaveTracked(bb, block)
+		sync, err := phy.DetectPacket(tracked, fm0, r.DetectThreshold)
+		if err != nil {
+			continue
+		}
+		dec, err := r.decodeAt(bb, tracked, sync, fm0)
+		if err != nil {
+			continue
+		}
+		dec.Sync.Index += searchFrom
+		dec.Sync.PayloadIndex += searchFrom
+		dec.CFOHz = cfo
+		return dec, nil
+	}
+	return nil, firstErr
+}
+
+// decodeAt decodes a length-prefixed data frame at a detected lock.
+func (r *Receiver) decodeAt(bb []complex128, env []float64, sync phy.Sync, fm0 *phy.FM0) (*Decoded, error) {
+	// Decode the header first to learn the payload length, then the
+	// whole frame.
+	headerBits, _ := fm0.DecodeFrom(env[sync.PayloadIndex:], 24, sync.PayloadLevel)
+	if len(headerBits) < 24 {
+		return nil, fmt.Errorf("core: truncated header: %d bits", len(headerBits))
+	}
+	header, err := frame.FromBits(headerBits)
+	if err != nil {
+		return nil, err
+	}
+	payloadLen := int(header[2])
+	if payloadLen > frame.MaxPayload {
+		return nil, fmt.Errorf("core: implausible payload length %d", payloadLen)
+	}
+	total := frame.DataFrameBitLength(payloadLen)
+	bits, _ := fm0.DecodeFrom(env[sync.PayloadIndex:], total, sync.PayloadLevel)
+	if len(bits) < total {
+		return nil, fmt.Errorf("core: truncated frame: %d of %d bits", len(bits), total)
+	}
+	raw, err := frame.FromBits(bits)
+	if err != nil {
+		return nil, err
+	}
+	df, err := frame.UnmarshalDataFrame(raw)
+	if err != nil {
+		return nil, err // CRC failure — MAC layer requests retransmission
+	}
+
+	// SNR over preamble + frame, the §6.1a way. With the packet extent
+	// now confirmed by the CRC, re-estimate the modulation axis over
+	// exactly that extent (the best available channel estimate) and
+	// search a small alignment neighbourhood — multipath can shift the
+	// correlation peak a few samples off the energy-optimal point.
+	allBits := append(append([]phy.Bit{}, phy.PreambleBits...), bits...)
+	packetLen := len(allBits) * fm0.SamplesPerBit
+	endIdx := sync.Index + packetLen
+	if endIdx > len(bb) {
+		endIdx = len(bb)
+	}
+	refined := projectAxis(bb, estimateAxis(bb[sync.Index:endIdx]))
+	snr := 0.0
+	span := fm0.SamplesPerBit / 4
+	step := fm0.SamplesPerBit / 16
+	if step < 1 {
+		step = 1
+	}
+	for _, wave := range [][]float64{env, refined} {
+		for off := -span; off <= span; off += step {
+			idx := sync.Index + off
+			if idx < 0 || idx >= len(wave) {
+				continue
+			}
+			if s := phy.MeasureSNR(wave[idx:], allBits, fm0); s > snr {
+				snr = s
+			}
+		}
+	}
+
+	return &Decoded{
+		Frame:     df,
+		Bits:      bits,
+		SNRLinear: snr,
+		Sync:      sync,
+	}, nil
+}
+
+// MeasureUplinkSNR decodes as much as possible and returns the SNR even
+// when the CRC fails — Fig 7/8 need SNR for packets that do not decode
+// cleanly. knownBits, when non-nil, are the transmitted bits (ground
+// truth available in the controlled experiments).
+func (r *Receiver) MeasureUplinkSNR(pressure []float64, carrier, bitrate float64, knownBits []phy.Bit, searchFrom int) (snrLinear float64, ber float64, err error) {
+	volts, err := r.Hydro.Record(pressure)
+	if err != nil {
+		return 0, 1, err
+	}
+	bb, err := r.Demodulate(volts, carrier, bitrate)
+	if err != nil {
+		return 0, 1, err
+	}
+	if searchFrom < 0 {
+		searchFrom = 0
+	}
+	if searchFrom >= len(bb) {
+		return 0, 1, fmt.Errorf("core: search start %d beyond recording %d", searchFrom, len(bb))
+	}
+	bb = bb[searchFrom:]
+	bb, _ = r.correctCFOIfReal(bb)
+	spb, err := phy.SamplesPerBitFor(r.SampleRate, bitrate)
+	if err != nil {
+		return 0, 1, err
+	}
+	fm0, err := phy.NewFM0(spb)
+	if err != nil {
+		return 0, 1, err
+	}
+	cands, err := r.detectRefinedAll(bb, fm0)
+	if err != nil {
+		return 0, 1, err
+	}
+	// Evaluate every candidate lock and keep the one with the highest
+	// measured SNR — the same arbitration DecodeUplink gets from the
+	// CRC, available here even when the packet is too corrupted to pass.
+	best := -1.0
+	bestBER := 1.0
+	for _, c := range cands {
+		n := len(knownBits)
+		if n == 0 {
+			n = (len(c.wave) - c.sync.Index) / spb
+		}
+		got, _ := fm0.DecodeFrom(c.wave[c.sync.Index:], n, c.sync.StartLevel)
+		snr := phy.MeasureSNR(c.wave[c.sync.Index:], got, fm0)
+		if snr > best {
+			best = snr
+			if knownBits != nil {
+				bestBER = phy.BER(knownBits, got)
+			} else {
+				bestBER = 0
+			}
+		}
+	}
+	if best < 0 {
+		return 0, 1, fmt.Errorf("core: no usable candidate lock")
+	}
+	return best, bestBER, nil
+}
+
+// detectRefined runs two-pass coherent detection: a coarse pass with the
+// axis estimated over the whole stream locates the preamble, then the
+// axis is re-estimated over the detected preamble alone — where the
+// modulation is guaranteed present — and detection and decoding proceed
+// on the refined projection. This is the per-packet channel estimation
+// of the paper's receiver (§5.1b).
+type refinedLock struct {
+	wave []float64
+	sync phy.Sync
+}
+
+// detectRefinedAll returns every surviving candidate lock, best refined
+// score first.
+func (r *Receiver) detectRefinedAll(bb []complex128, fm0 *phy.FM0) ([]refinedLock, error) {
+	// The global second-moment axis can sit arbitrarily far from the
+	// true modulation axis when the stream is mostly unmodulated
+	// carrier, leaving the real preamble buried on the coarse
+	// projection. Search two orthogonal coarse projections — the signal
+	// appears at ≥ 1/√2 of its amplitude on at least one of them.
+	axis := estimateAxis(bb)
+	axisQ := axis
+	axisQ.rot *= complex(0, 1)
+	firstThresh := r.DetectThreshold / 2
+	if firstThresh > 0.3 {
+		firstThresh = 0.3
+	}
+	preambleLen := len(phy.PreambleBits) * fm0.SamplesPerBit
+	var cands []phy.Sync
+	for _, a := range []modAxis{axis, axisQ} {
+		coarse := projectAxis(bb, a)
+		cs, err := phy.DetectPacketCandidates(coarse, fm0, firstThresh, 8, preambleLen)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cs...)
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: no preamble candidates on either projection")
+	}
+	var out []refinedLock
+	for _, cand := range cands {
+		end := cand.Index + preambleLen
+		if end > len(bb) {
+			end = len(bb)
+		}
+		wave := projectAxis(bb, estimateAxis(bb[cand.Index:end]))
+		// Re-detect only in a small window around this candidate: a
+		// global re-detect would let every candidate's refined wave
+		// converge onto the single strongest peak, collapsing the
+		// candidate set before the CRC can arbitrate.
+		lo := cand.Index - fm0.SamplesPerBit
+		if lo < 0 {
+			lo = 0
+		}
+		hi := cand.Index + fm0.SamplesPerBit + preambleLen
+		if hi > len(wave) {
+			hi = len(wave)
+		}
+		sync, err := phy.DetectPacket(wave[lo:hi], fm0, r.DetectThreshold)
+		if err != nil {
+			continue
+		}
+		sync.Index += lo
+		sync.PayloadIndex += lo
+		out = append(out, refinedLock{wave: wave, sync: sync})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no candidate packet survived axis refinement")
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].sync.Score > out[b].sync.Score })
+	// Deduplicate locks that converged to the same index.
+	dedup := out[:1]
+	for _, c := range out[1:] {
+		seen := false
+		for _, d := range dedup {
+			if abs(c.sync.Index-d.sync.Index) < preambleLen/2 {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dedup = append(dedup, c)
+		}
+	}
+	return dedup, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// detectRefined returns the best candidate lock (compat wrapper).
+func (r *Receiver) detectRefined(bb []complex128, fm0 *phy.FM0) ([]float64, phy.Sync, error) {
+	coarse := CoherentWave(bb)
+	// Generous threshold for the first pass: the global axis may be far
+	// from the modulation axis, and payload structure can out-correlate
+	// the true preamble on the coarse projection — so evaluate several
+	// candidates and keep the one whose refined projection scores best.
+	firstThresh := r.DetectThreshold / 2
+	if firstThresh > 0.3 {
+		firstThresh = 0.3
+	}
+	preambleLen := len(phy.PreambleBits) * fm0.SamplesPerBit
+	cands, err := phy.DetectPacketCandidates(coarse, fm0, firstThresh, 8, preambleLen)
+	if err != nil {
+		return nil, phy.Sync{}, err
+	}
+	var bestWave []float64
+	var bestSync phy.Sync
+	found := false
+	for _, cand := range cands {
+		end := cand.Index + preambleLen
+		if end > len(bb) {
+			end = len(bb)
+		}
+		wave := projectAxis(bb, estimateAxis(bb[cand.Index:end]))
+		sync, err := phy.DetectPacket(wave, fm0, r.DetectThreshold)
+		if err != nil {
+			continue
+		}
+		if !found || sync.Score > bestSync.Score {
+			bestWave, bestSync, found = wave, sync, true
+		}
+	}
+	if !found {
+		return nil, phy.Sync{}, fmt.Errorf("core: no candidate packet survived axis refinement")
+	}
+	return bestWave, bestSync, nil
+}
+
+// CoherentWaveAround projects bb using the axis estimated over
+// [start, end) — a debugging/analysis helper.
+func CoherentWaveAround(bb []complex128, start, end int) []float64 {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(bb) {
+		end = len(bb)
+	}
+	return projectAxis(bb, estimateAxis(bb[start:end]))
+}
+
+// correctCFOIfReal estimates the carrier frequency offset and applies
+// the correction only when it concentrates the carrier (|Σbb|/Σ|bb|
+// rises) — a spurious estimate from a multipath-skewed spectrum would
+// otherwise smear a perfectly coherent stream.
+func (r *Receiver) correctCFOIfReal(bb []complex128) ([]complex128, float64) {
+	cfo := phy.EstimateCFO(bb, r.SampleRate)
+	if math.Abs(cfo) <= 0.5 {
+		return bb, cfo
+	}
+	corrected := phy.CorrectCFO(bb, cfo, r.SampleRate)
+	if carrierConcentration(corrected) > carrierConcentration(bb) {
+		return corrected, cfo
+	}
+	return bb, 0
+}
+
+// carrierConcentration measures how coherent the dominant carrier is:
+// 1.0 for a pure phasor, → 0 as rotation spreads it.
+func carrierConcentration(bb []complex128) float64 {
+	if len(bb) == 0 {
+		return 0
+	}
+	var sum complex128
+	var mag float64
+	for _, v := range bb {
+		sum += v
+		mag += cmplx.Abs(v)
+	}
+	if mag == 0 {
+		return 0
+	}
+	return cmplx.Abs(sum) / mag
+}

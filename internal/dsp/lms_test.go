@@ -1,0 +1,153 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// isiChannel applies a two-tap ISI channel (direct + delayed echo).
+func isiChannel(x []float64, echoDelay int, echoGain float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for i := echoDelay; i < len(x); i++ {
+		out[i] += echoGain * x[i-echoDelay]
+	}
+	return out
+}
+
+func TestLMSValidation(t *testing.T) {
+	if _, err := NewLMSEqualizer(0, 0.1); err == nil {
+		t.Error("zero taps should error")
+	}
+	if _, err := NewLMSEqualizer(4, 0.1); err == nil {
+		t.Error("even taps should error")
+	}
+	if _, err := NewLMSEqualizer(5, 0); err == nil {
+		t.Error("zero µ should error")
+	}
+	if _, err := NewLMSEqualizer(5, 1.5); err == nil {
+		t.Error("µ ≥ 1 should error")
+	}
+	eq, err := NewLMSEqualizer(5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eq.Train([]float64{1, 2}, []float64{1, 2}, 1); err == nil {
+		t.Error("too-short training should error")
+	}
+	if _, err := eq.Train(make([]float64, 100), make([]float64, 100), 1); err == nil {
+		t.Error("zero-power training should error")
+	}
+}
+
+func TestLMSIdentityStart(t *testing.T) {
+	eq, _ := NewLMSEqualizer(7, 0.1)
+	x := []float64{1, -1, 2, 0.5, -0.3}
+	y := eq.Equalize(x)
+	for i := range x {
+		if math.Abs(y[i]-x[i]) > 1e-12 {
+			t.Fatal("untrained equalizer should be identity")
+		}
+	}
+}
+
+func TestLMSSuppressesISI(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Training symbols: random ±1 (a preamble).
+	train := make([]float64, 2000)
+	for i := range train {
+		train[i] = float64(rng.Intn(2))*2 - 1
+	}
+	rx := isiChannel(train, 3, 0.5)
+	// The exact inverse of (1 − 0.5z⁻³) is IIR with taps decaying as
+	// 0.5^k; 21 taps cover enough of it to leave <1% residual power.
+	eq, _ := NewLMSEqualizer(21, 0.2)
+	mse0 := meanSquaredError(rx, train)
+	mse, err := eq.Train(rx, train, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse >= mse0/5 {
+		t.Errorf("training MSE %g should be well below raw %g", mse, mse0)
+	}
+	// And it generalises to fresh data through the same channel.
+	data := make([]float64, 2000)
+	for i := range data {
+		data[i] = float64(rng.Intn(2))*2 - 1
+	}
+	rx2 := isiChannel(data, 3, 0.5)
+	eqOut := eq.Equalize(rx2)
+	if em := meanSquaredError(eqOut, data); em >= meanSquaredError(rx2, data)/3 {
+		t.Errorf("equalized MSE %g vs raw %g", em, meanSquaredError(rx2, data))
+	}
+}
+
+func meanSquaredError(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+func TestLMSTapsAccessor(t *testing.T) {
+	eq, _ := NewLMSEqualizer(5, 0.1)
+	taps := eq.Taps()
+	taps[0] = 99
+	if eq.Taps()[0] == 99 {
+		t.Error("Taps must return a copy")
+	}
+}
+
+func TestResidualISI(t *testing.T) {
+	if ResidualISI([]float64{0, 1, 0}) != 0 {
+		t.Error("pure delay has zero ISI")
+	}
+	if r := ResidualISI([]float64{1, 1}); math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("equal two-tap ISI %g, want 0.5", r)
+	}
+	if ResidualISI(nil) != 0 || ResidualISI([]float64{0, 0}) != 0 {
+		t.Error("degenerate inputs should be 0")
+	}
+}
+
+func TestLMSEqualizerImprovesDecisions(t *testing.T) {
+	// End-to-end payoff: hard decisions on the equalized stream beat
+	// decisions on the raw ISI stream.
+	rng := rand.New(rand.NewSource(8))
+	train := make([]float64, 1500)
+	for i := range train {
+		train[i] = float64(rng.Intn(2))*2 - 1
+	}
+	eq, _ := NewLMSEqualizer(13, 0.2)
+	if _, err := eq.Train(isiChannel(train, 2, 0.65), train, 40); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, 4000)
+	for i := range data {
+		data[i] = float64(rng.Intn(2))*2 - 1
+	}
+	rx := isiChannel(data, 2, 0.65)
+	for i := range rx {
+		rx[i] += rng.NormFloat64() * 0.3
+	}
+	rawErrs, eqErrs := 0, 0
+	eqd := eq.Equalize(rx)
+	for i := range data {
+		if (rx[i] > 0) != (data[i] > 0) {
+			rawErrs++
+		}
+		if (eqd[i] > 0) != (data[i] > 0) {
+			eqErrs++
+		}
+	}
+	if eqErrs >= rawErrs {
+		t.Errorf("equalized errors %d should be below raw %d", eqErrs, rawErrs)
+	}
+}

@@ -1,0 +1,225 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOscillatorPhaseContinuity(t *testing.T) {
+	o := NewOscillator(15000, 96000)
+	a := o.Block(100)
+	b := o.Block(100)
+	whole := NewOscillator(15000, 96000).Block(200)
+	for i := 0; i < 100; i++ {
+		if !approx(a[i], whole[i], 1e-12) || !approx(b[i], whole[100+i], 1e-9) {
+			t.Fatal("oscillator blocks are not phase continuous")
+		}
+	}
+}
+
+func TestSineAmplitudeAndFrequency(t *testing.T) {
+	fs := 96000.0
+	x := Sine(2.5, 15000, fs, 0, 9600)
+	if r := RMS(x); math.Abs(r-2.5/math.Sqrt2) > 0.01 {
+		t.Errorf("RMS = %g, want %g", r, 2.5/math.Sqrt2)
+	}
+	peaks := FindPeaks(x, fs, 1, 100, 0)
+	if len(peaks) != 1 || math.Abs(peaks[0].Frequency-15000) > 20 {
+		t.Errorf("peaks = %+v, want single 15 kHz", peaks)
+	}
+}
+
+func TestDownconvertRecoversEnvelope(t *testing.T) {
+	fs := 96000.0
+	fc := 15000.0
+	n := 19200
+	// 15 kHz carrier with amplitude step 1.0 → 0.4 halfway (a backscatter
+	// state change).
+	x := make([]float64, n)
+	w := 2 * math.Pi * fc / fs
+	for i := range x {
+		amp := 1.0
+		if i >= n/2 {
+			amp = 0.4
+		}
+		x[i] = amp * math.Sin(w*float64(i))
+	}
+	bb, err := DownconvertLP(x, fc, fs, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Envelope(bb)
+	// The complex envelope of A·sin is A/2 after mixing (half the energy
+	// lands at 2fc and is filtered); scale by 2.
+	first := 2 * Mean(env[n/8:3*n/8])
+	second := 2 * Mean(env[5*n/8:7*n/8])
+	if math.Abs(first-1.0) > 0.05 {
+		t.Errorf("first level %g, want ~1.0", first)
+	}
+	if math.Abs(second-0.4) > 0.05 {
+		t.Errorf("second level %g, want ~0.4", second)
+	}
+}
+
+func TestDownconvertRejectsOtherCarrier(t *testing.T) {
+	fs := 96000.0
+	n := 19200
+	x := Sine(1, 18000, fs, 0, n)
+	bb, err := DownconvertLP(x, 15000, fs, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Envelope(bb)
+	if m := Mean(env[n/4 : 3*n/4]); m > 0.01 {
+		t.Errorf("18 kHz leakage into 15 kHz channel: %g", m)
+	}
+}
+
+func TestAmplitudeEnvelope(t *testing.T) {
+	fs := 96000.0
+	n := 9600
+	x := Sine(0.8, 15000, fs, 0, n)
+	env, err := AmplitudeEnvelope(x, fs, 1500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mean(env[n/4 : 3*n/4])
+	if math.Abs(m-0.8) > 0.05 {
+		t.Errorf("envelope %g, want ~0.8", m)
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got := Decimate(x, 3)
+	want := []float64{0, 3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Factor 1 copies.
+	same := Decimate(x, 1)
+	same[0] = 99
+	if x[0] == 99 {
+		t.Error("Decimate(x,1) must copy, not alias")
+	}
+}
+
+func TestDecimateComplex(t *testing.T) {
+	x := []complex128{0, 1i, 2i, 3i}
+	got := DecimateComplex(x, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2i {
+		t.Errorf("DecimateComplex = %v", got)
+	}
+}
+
+func TestResampleLinear(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	got := ResampleLinear(x, 7)
+	if len(got) != 7 {
+		t.Fatalf("len = %d, want 7", len(got))
+	}
+	if got[0] != 0 || got[6] != 3 {
+		t.Errorf("endpoints %g, %g; want 0, 3", got[0], got[6])
+	}
+	if !approx(got[3], 1.5, 1e-12) {
+		t.Errorf("midpoint %g, want 1.5", got[3])
+	}
+	if out := ResampleLinear(nil, 5); out != nil {
+		t.Error("nil input should give nil")
+	}
+	if out := ResampleLinear([]float64{2}, 3); len(out) != 3 || out[1] != 2 {
+		t.Error("single-sample input should replicate")
+	}
+}
+
+func TestCrossCorrelatePeakAtOffset(t *testing.T) {
+	tmpl := []float64{1, -1, 1, 1, -1}
+	x := make([]float64, 100)
+	copy(x[40:], tmpl)
+	corr := CrossCorrelate(x, tmpl)
+	idx, _ := ArgMax(corr)
+	if idx != 40 {
+		t.Errorf("correlation peak at %d, want 40", idx)
+	}
+}
+
+func TestNormalizedCrossCorrelateBounds(t *testing.T) {
+	tmpl := []float64{1, -1, 1, 1, -1, -1, 1}
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.7)
+	}
+	copy(x[200:], tmpl)
+	corr := NormalizedCrossCorrelate(x, tmpl)
+	for i, v := range corr {
+		if v > 1+1e-9 || v < -1-1e-9 {
+			t.Fatalf("normalised corr out of bounds at %d: %g", i, v)
+		}
+	}
+	idx, v := ArgMax(corr)
+	if idx != 200 || v < 0.999 {
+		t.Errorf("peak (%d, %g), want (200, ~1)", idx, v)
+	}
+}
+
+func TestCrossCorrelateFFTPath(t *testing.T) {
+	// Long enough to trigger the FFT path; verify against direct result.
+	x := make([]float64, 2000)
+	h := make([]float64, 64)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.31)
+	}
+	for i := range h {
+		h[i] = math.Cos(float64(i) * 0.17)
+	}
+	got := CrossCorrelate(x, h) // 2000·64 = 128000 > threshold
+	for i := 0; i < len(got); i += 97 {
+		var want float64
+		for j, hv := range h {
+			want += x[i+j] * hv
+		}
+		if math.Abs(got[i]-want) > 1e-8 {
+			t.Fatalf("fft corr mismatch at %d: %g vs %g", i, got[i], want)
+		}
+	}
+}
+
+func TestArgMaxEdgeCases(t *testing.T) {
+	if idx, _ := ArgMax(nil); idx != -1 {
+		t.Error("ArgMax(nil) index should be -1")
+	}
+	idx, v := ArgMaxAbs([]float64{1, -5, 3})
+	if idx != 1 || v != -5 {
+		t.Errorf("ArgMaxAbs = (%d, %g), want (1, -5)", idx, v)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	if Mean(nil) != 0 || RMS(nil) != 0 {
+		t.Error("empty stats should be 0")
+	}
+	if !approx(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Error("Mean wrong")
+	}
+	if !approx(RMS([]float64{3, 4}), math.Sqrt(12.5), 1e-12) {
+		t.Error("RMS wrong")
+	}
+	if !approx(Energy([]float64{3, 4}), 25, 1e-12) {
+		t.Error("Energy wrong")
+	}
+	x := []float64{1, 2}
+	Scale(x, 2)
+	if x[0] != 2 || x[1] != 4 {
+		t.Error("Scale wrong")
+	}
+	dst := []float64{1, 1, 1}
+	Add(dst, []float64{1, 2})
+	if dst[0] != 2 || dst[1] != 3 || dst[2] != 1 {
+		t.Error("Add wrong")
+	}
+}

@@ -1,0 +1,66 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering window function.
+type Window int
+
+// Supported window functions.
+const (
+	Rectangular Window = iota
+	Hann
+	Hamming
+	Blackman
+)
+
+// String returns the window's conventional name.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return "unknown"
+	}
+}
+
+// Coefficients returns the n window coefficients for w. For n == 1 a single
+// unity coefficient is returned.
+func (w Window) Coefficients(n int) []float64 {
+	c := make([]float64, n)
+	if n == 1 {
+		c[0] = 1
+		return c
+	}
+	den := float64(n - 1)
+	for i := range c {
+		t := float64(i) / den
+		switch w {
+		case Hann:
+			c[i] = 0.5 - 0.5*math.Cos(2*math.Pi*t)
+		case Hamming:
+			c[i] = 0.54 - 0.46*math.Cos(2*math.Pi*t)
+		case Blackman:
+			c[i] = 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+		default:
+			c[i] = 1
+		}
+	}
+	return c
+}
+
+// Apply multiplies x elementwise by the window coefficients and returns a
+// new slice; x is not modified.
+func (w Window) Apply(x []float64) []float64 {
+	c := w.Coefficients(len(x))
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] * c[i]
+	}
+	return out
+}

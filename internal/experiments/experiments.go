@@ -1,0 +1,97 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§6) from the simulated PAB system: each Fig* function runs the
+// corresponding workload and returns the rows the paper plots, and the
+// Run dispatcher prints them as TSV for the pabsim CLI and the benchmark
+// harness.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner generates one experiment's table.
+type Runner func(w io.Writer) error
+
+// registry maps experiment ids to runners.
+var registry = map[string]struct {
+	run  Runner
+	desc string
+}{
+	"fig2":     {RunFig2, "received & demodulated backscatter trace (Fig 2)"},
+	"fig3":     {RunFig3, "recto-piezo rectified voltage vs frequency (Fig 3)"},
+	"fig7":     {RunFig7, "BER vs SNR (Fig 7)"},
+	"fig8":     {RunFig8, "SNR vs backscatter bitrate (Fig 8)"},
+	"fig9":     {RunFig9, "max power-up distance vs transmit voltage (Fig 9)"},
+	"fig10":    {RunFig10, "SINR before/after collision projection (Fig 10)"},
+	"fig11":    {RunFig11, "node power consumption vs bitrate (Fig 11)"},
+	"sensing":  {RunSensing, "pH / temperature / pressure readings (§6.5)"},
+	"mobility": {RunMobility, "BER/SNR vs node drift speed (§8 extension)"},
+	"scaling":  {RunScaling, "network goodput vs FDMA channel count (§8 extension)"},
+	"baseline": {RunBaseline, "energy-per-bit & throughput vs baselines (§2, §3.2)"},
+}
+
+// Names returns the available experiment ids, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(name string) (string, bool) {
+	e, ok := registry[name]
+	return e.desc, ok
+}
+
+// Run executes one experiment by id, writing its TSV table to w.
+func Run(name string, w io.Writer) error {
+	e, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return e.run(w)
+}
+
+// header writes a TSV header line.
+func header(w io.Writer, cols ...string) error {
+	for i, c := range cols {
+		if i > 0 {
+			if _, err := fmt.Fprint(w, "\t"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprint(w, c); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// row writes a TSV data line.
+func row(w io.Writer, vals ...interface{}) error {
+	for i, v := range vals {
+		if i > 0 {
+			if _, err := fmt.Fprint(w, "\t"); err != nil {
+				return err
+			}
+		}
+		switch t := v.(type) {
+		case float64:
+			if _, err := fmt.Fprintf(w, "%.4g", t); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprint(w, v); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,198 @@
+package frame
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumKnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+	if got := Checksum([]byte("123456789")); got != 0x29B1 {
+		t.Errorf("checksum = %04x, want 29b1", got)
+	}
+	// Empty input yields the init value.
+	if got := Checksum(nil); got != 0xFFFF {
+		t.Errorf("checksum(nil) = %04x, want ffff", got)
+	}
+}
+
+func TestChecksumDetectsSingleBitFlips(t *testing.T) {
+	f := func(data []byte, pos uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		orig := Checksum(data)
+		mut := make([]byte, len(data))
+		copy(mut, data)
+		byteIdx := int(pos) % len(data)
+		bitIdx := uint(pos) % 8
+		mut[byteIdx] ^= 1 << bitIdx
+		return Checksum(mut) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	f := func(dest, param byte, cmdRaw byte) bool {
+		q := Query{Dest: dest, Command: Command(cmdRaw), Param: param}
+		got, err := UnmarshalQuery(q.Marshal())
+		return err == nil && got == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryRejectsCorruption(t *testing.T) {
+	q := Query{Dest: 0x12, Command: CmdReadSensor, Param: byte(SensorPH)}
+	data := q.Marshal()
+	for i := range data {
+		mut := make([]byte, len(data))
+		copy(mut, data)
+		mut[i] ^= 0x40
+		if _, err := UnmarshalQuery(mut); err == nil {
+			t.Errorf("corruption at byte %d not detected", i)
+		}
+	}
+	if _, err := UnmarshalQuery(data[:3]); err == nil {
+		t.Error("truncated query should error")
+	}
+}
+
+func TestDataFrameRoundTrip(t *testing.T) {
+	f := func(src, seq byte, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		d := DataFrame{Source: src, Seq: seq, Payload: payload}
+		raw, err := d.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalDataFrame(raw)
+		if err != nil {
+			return false
+		}
+		return got.Source == src && got.Seq == seq && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataFrameEmptyPayload(t *testing.T) {
+	d := DataFrame{Source: 1, Seq: 2}
+	raw, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalDataFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 {
+		t.Errorf("payload should be empty, got %v", got.Payload)
+	}
+}
+
+func TestDataFramePayloadTooLarge(t *testing.T) {
+	d := DataFrame{Source: 1, Payload: make([]byte, MaxPayload+1)}
+	if _, err := d.Marshal(); err == nil {
+		t.Error("oversized payload should error")
+	}
+}
+
+func TestDataFrameRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	payload := make([]byte, 16)
+	rng.Read(payload)
+	d := DataFrame{Source: 7, Seq: 3, Payload: payload}
+	raw, _ := d.Marshal()
+	detected := 0
+	for i := range raw {
+		mut := make([]byte, len(raw))
+		copy(mut, raw)
+		mut[i] ^= 0x01
+		if _, err := UnmarshalDataFrame(mut); err != nil {
+			detected++
+		}
+	}
+	if detected != len(raw) {
+		t.Errorf("only %d/%d corruptions detected", detected, len(raw))
+	}
+}
+
+func TestDataFrameInconsistentLength(t *testing.T) {
+	if _, err := UnmarshalDataFrame([]byte{1, 2}); err == nil {
+		t.Error("too-short frame should error")
+	}
+	// Declared payload larger than the buffer.
+	bad := []byte{1, 2, 10, 0, 0}
+	if _, err := UnmarshalDataFrame(bad); err == nil {
+		t.Error("inconsistent declared length should error")
+	}
+	// Declared payload over MaxPayload.
+	huge := make([]byte, 3+200+2)
+	huge[2] = 200
+	if _, err := UnmarshalDataFrame(huge); err == nil {
+		t.Error("over-max declared length should error")
+	}
+}
+
+func TestUnmarshalDataFrameCopiesPayload(t *testing.T) {
+	d := DataFrame{Source: 1, Seq: 1, Payload: []byte{1, 2, 3}}
+	raw, _ := d.Marshal()
+	got, err := UnmarshalDataFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[3] = 99
+	if got.Payload[0] == 99 {
+		t.Error("payload must be copied, not aliased")
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	q := Query{Dest: 5, Command: CmdPing}
+	bits := Bits(q.Marshal())
+	if len(bits) != QueryBitLength {
+		t.Errorf("query bits %d, want %d", len(bits), QueryBitLength)
+	}
+	raw, err := FromBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalQuery(raw)
+	if err != nil || got != q {
+		t.Errorf("bit round trip: %+v, %v", got, err)
+	}
+}
+
+func TestDataFrameBitLength(t *testing.T) {
+	d := DataFrame{Source: 1, Payload: make([]byte, 12)}
+	raw, _ := d.Marshal()
+	if got := DataFrameBitLength(12); got != len(raw)*8 {
+		t.Errorf("bit length %d, want %d", got, len(raw)*8)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if CmdPing.String() != "ping" || CmdSetBitrate.String() != "set-bitrate" ||
+		CmdSwitchResonance.String() != "switch-resonance" || CmdReadSensor.String() != "read-sensor" {
+		t.Error("command names wrong")
+	}
+	if Command(0x99).String() != "command(0x99)" {
+		t.Error("unknown command format wrong")
+	}
+	if SensorPH.String() != "pH" || SensorTemperature.String() != "temperature" ||
+		SensorPressure.String() != "pressure" {
+		t.Error("sensor names wrong")
+	}
+	if SensorID(9).String() != "sensor(9)" {
+		t.Error("unknown sensor format wrong")
+	}
+}

@@ -1,0 +1,132 @@
+package mac
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Inventory implements reader-driven framed slotted ALOHA with the EPC
+// Gen2-style adaptive Q algorithm — the anti-collision protocol PAB
+// inherits from its RFID lineage (§3.3.2: "a protocol similar to that
+// adopted by RFIDs"). It answers the paper's §8 scaling question for
+// the discovery phase: before the reader can assign FDMA channels
+// (PlanFDMA) or poll by address, it must learn which nodes are in range.
+//
+// Each round the reader announces 2^Q slots; every unidentified node
+// backscatters in one uniformly random slot. Singleton slots identify a
+// node; collision slots and empty slots feed the Q adaptation.
+
+// InventoryConfig tunes the discovery protocol.
+type InventoryConfig struct {
+	// InitialQ is the starting frame-size exponent (slots = 2^Q).
+	InitialQ int
+	// MinQ and MaxQ clamp the adaptation.
+	MinQ, MaxQ int
+	// C is the Q-adjustment weight (Gen2 recommends 0.1–0.5).
+	C float64
+	// MaxRounds bounds the protocol (0 = default 64).
+	MaxRounds int
+}
+
+// DefaultInventoryConfig returns Gen2-like settings.
+func DefaultInventoryConfig() InventoryConfig {
+	return InventoryConfig{InitialQ: 4, MinQ: 0, MaxQ: 15, C: 0.3, MaxRounds: 64}
+}
+
+// InventoryResult reports one discovery run.
+type InventoryResult struct {
+	// Identified lists the discovered node addresses in discovery order.
+	Identified []byte
+	// Rounds is the number of frames used.
+	Rounds int
+	// Slots is the total slot count across all frames.
+	Slots int
+	// Singletons, Collisions and Empties partition the slots.
+	Singletons, Collisions, Empties int
+}
+
+// Efficiency returns identified nodes per slot (the theoretical optimum
+// for framed slotted ALOHA is 1/e ≈ 0.368).
+func (r InventoryResult) Efficiency() float64 {
+	if r.Slots == 0 {
+		return 0
+	}
+	return float64(len(r.Identified)) / float64(r.Slots)
+}
+
+// Inventory discovers the given node population. The rng drives the
+// nodes' slot choices (seed it for reproducible runs).
+func Inventory(nodes []byte, cfg InventoryConfig, rng *rand.Rand) (InventoryResult, error) {
+	if rng == nil {
+		return InventoryResult{}, fmt.Errorf("mac: nil rng")
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 64
+	}
+	if cfg.MinQ < 0 || cfg.MaxQ < cfg.MinQ || cfg.MaxQ > 15 {
+		return InventoryResult{}, fmt.Errorf("mac: bad Q bounds [%d, %d]", cfg.MinQ, cfg.MaxQ)
+	}
+	if cfg.InitialQ < cfg.MinQ || cfg.InitialQ > cfg.MaxQ {
+		return InventoryResult{}, fmt.Errorf("mac: initial Q %d outside [%d, %d]", cfg.InitialQ, cfg.MinQ, cfg.MaxQ)
+	}
+	if cfg.C <= 0 {
+		return InventoryResult{}, fmt.Errorf("mac: Q weight must be positive")
+	}
+
+	pending := make([]byte, len(nodes))
+	copy(pending, nodes)
+	var res InventoryResult
+	qfp := float64(cfg.InitialQ)
+
+	for round := 0; round < cfg.MaxRounds && len(pending) > 0; round++ {
+		res.Rounds++
+		q := int(math.Round(qfp))
+		if q < cfg.MinQ {
+			q = cfg.MinQ
+		}
+		if q > cfg.MaxQ {
+			q = cfg.MaxQ
+		}
+		slots := 1 << uint(q)
+		res.Slots += slots
+
+		// Nodes choose slots.
+		choice := make(map[int][]byte, len(pending))
+		for _, addr := range pending {
+			s := rng.Intn(slots)
+			choice[s] = append(choice[s], addr)
+		}
+
+		// Walk the frame.
+		identifiedThisRound := make(map[byte]bool)
+		for s := 0; s < slots; s++ {
+			occupants := choice[s]
+			switch len(occupants) {
+			case 0:
+				res.Empties++
+				qfp = math.Max(float64(cfg.MinQ), qfp-cfg.C)
+			case 1:
+				res.Singletons++
+				res.Identified = append(res.Identified, occupants[0])
+				identifiedThisRound[occupants[0]] = true
+			default:
+				res.Collisions++
+				qfp = math.Min(float64(cfg.MaxQ), qfp+cfg.C)
+			}
+		}
+
+		// Identified nodes leave the population.
+		var next []byte
+		for _, addr := range pending {
+			if !identifiedThisRound[addr] {
+				next = append(next, addr)
+			}
+		}
+		pending = next
+	}
+	if len(pending) > 0 {
+		return res, fmt.Errorf("mac: inventory incomplete after %d rounds (%d nodes left)", res.Rounds, len(pending))
+	}
+	return res, nil
+}

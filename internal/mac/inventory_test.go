@@ -1,0 +1,137 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func addrs(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i + 1)
+	}
+	return out
+}
+
+func TestInventoryIdentifiesEveryone(t *testing.T) {
+	for _, n := range []int{1, 5, 20, 100} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		res, err := Inventory(addrs(n), DefaultInventoryConfig(), rng)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(res.Identified) != n {
+			t.Fatalf("n=%d: identified %d", n, len(res.Identified))
+		}
+		seen := map[byte]bool{}
+		for _, a := range res.Identified {
+			if seen[a] {
+				t.Fatalf("n=%d: %02x identified twice", n, a)
+			}
+			seen[a] = true
+		}
+		if res.Singletons != n {
+			t.Errorf("n=%d: %d singletons, want %d", n, res.Singletons, n)
+		}
+		if res.Slots != res.Singletons+res.Collisions+res.Empties {
+			t.Errorf("n=%d: slot accounting inconsistent: %+v", n, res)
+		}
+	}
+}
+
+func TestInventoryEfficiencyNearOptimum(t *testing.T) {
+	// Framed slotted ALOHA with adaptive Q should land within a factor
+	// of ~2 of the 1/e optimum for a reasonable population.
+	rng := rand.New(rand.NewSource(7))
+	res, err := Inventory(addrs(64), DefaultInventoryConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res.Efficiency(); e < 0.18 || e > 0.5 {
+		t.Errorf("efficiency %g, want ≈0.37 (1/e)", e)
+	}
+}
+
+func TestInventoryQAdaptationRecoversFromUndersizedFrame(t *testing.T) {
+	// A badly undersized initial Q collides every slot; adaptation grows
+	// the frame and completes, while a pinned tiny Q starves.
+	rng1 := rand.New(rand.NewSource(3))
+	adaptive, err := Inventory(addrs(40), InventoryConfig{InitialQ: 1, MinQ: 0, MaxQ: 15, C: 0.5, MaxRounds: 64}, rng1)
+	if err != nil {
+		t.Fatalf("adaptive inventory should complete: %v", err)
+	}
+	if len(adaptive.Identified) != 40 {
+		t.Fatalf("adaptive identified %d", len(adaptive.Identified))
+	}
+	rng2 := rand.New(rand.NewSource(3))
+	if _, err := Inventory(addrs(40), InventoryConfig{InitialQ: 1, MinQ: 1, MaxQ: 1, C: 0.5, MaxRounds: 64}, rng2); err == nil {
+		t.Error("pinned Q=1 with 40 nodes should starve")
+	}
+}
+
+func TestInventoryDeterministic(t *testing.T) {
+	a, err := Inventory(addrs(30), DefaultInventoryConfig(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Inventory(addrs(30), DefaultInventoryConfig(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Slots != b.Slots || a.Rounds != b.Rounds || len(a.Identified) != len(b.Identified) {
+		t.Error("seeded runs should be identical")
+	}
+}
+
+func TestInventoryProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%50)
+		res, err := Inventory(addrs(n), DefaultInventoryConfig(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		return len(res.Identified) == n && res.Efficiency() > 0 && res.Efficiency() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInventoryValidation(t *testing.T) {
+	if _, err := Inventory(addrs(3), DefaultInventoryConfig(), nil); err == nil {
+		t.Error("nil rng should error")
+	}
+	bad := DefaultInventoryConfig()
+	bad.MinQ = -1
+	if _, err := Inventory(addrs(3), bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative MinQ should error")
+	}
+	bad = DefaultInventoryConfig()
+	bad.InitialQ = 20
+	if _, err := Inventory(addrs(3), bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("out-of-range InitialQ should error")
+	}
+	bad = DefaultInventoryConfig()
+	bad.C = 0
+	if _, err := Inventory(addrs(3), bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero C should error")
+	}
+	// Empty population: trivially complete.
+	res, err := Inventory(nil, DefaultInventoryConfig(), rand.New(rand.NewSource(1)))
+	if err != nil || len(res.Identified) != 0 || res.Rounds != 0 {
+		t.Errorf("empty population: %+v, %v", res, err)
+	}
+	if res.Efficiency() != 0 {
+		t.Error("zero-slot efficiency should be 0")
+	}
+}
+
+func TestInventoryIncompleteWithTinyBudget(t *testing.T) {
+	cfg := DefaultInventoryConfig()
+	cfg.MaxRounds = 1
+	cfg.InitialQ = 0 // one slot, many nodes ⇒ guaranteed collision
+	if _, err := Inventory(addrs(10), cfg, rand.New(rand.NewSource(2))); err == nil {
+		t.Error("starved inventory should report incompleteness")
+	}
+}

@@ -1,0 +1,226 @@
+// Package mimo implements the collision-decoding receiver of paper
+// §3.3.2: concurrent backscatter transmissions collide on *both* downlink
+// frequencies (backscatter is frequency-agnostic), giving the hydrophone
+// two equations in two unknowns —
+//
+//	y(f1) = h1(f1)·x1 + h2(f1)·x2
+//	y(f2) = h1(f2)·x1 + h2(f2)·x2
+//
+// — which it solves by channel estimation and zero-forcing projection,
+// exactly like 2×2 MIMO but exploiting frequency diversity instead of
+// spatial diversity.
+package mimo
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Matrix2 is a complex 2×2 channel matrix [[A, B], [C, D]]:
+// row = receive channel (frequency), column = transmit stream (node).
+type Matrix2 struct {
+	A, B complex128
+	C, D complex128
+}
+
+// Det returns the determinant.
+func (m Matrix2) Det() complex128 { return m.A*m.D - m.B*m.C }
+
+// Invert returns the inverse, or an error for singular matrices.
+func (m Matrix2) Invert() (Matrix2, error) {
+	det := m.Det()
+	if cmplx.Abs(det) < 1e-18 {
+		return Matrix2{}, fmt.Errorf("mimo: channel matrix singular (det %v)", det)
+	}
+	inv := 1 / det
+	return Matrix2{A: m.D * inv, B: -m.B * inv, C: -m.C * inv, D: m.A * inv}, nil
+}
+
+// ConditionNumber returns the 2-norm condition number (σmax/σmin) via
+// the singular values of the 2×2 matrix. Recto-piezo frequency diversity
+// keeps this small (the paper's footnote 7: the decoding matrix is
+// "better conditioned").
+func (m Matrix2) ConditionNumber() float64 {
+	// Singular values from the eigenvalues of MᴴM.
+	a2 := cmplx.Abs(m.A) * cmplx.Abs(m.A)
+	b2 := cmplx.Abs(m.B) * cmplx.Abs(m.B)
+	c2 := cmplx.Abs(m.C) * cmplx.Abs(m.C)
+	d2 := cmplx.Abs(m.D) * cmplx.Abs(m.D)
+	// MᴴM = [[a2+c2, x],[conj(x), b2+d2]] with x = conj(A)B + conj(C)D.
+	x := cmplx.Conj(m.A)*m.B + cmplx.Conj(m.C)*m.D
+	tr := a2 + c2 + b2 + d2
+	det := (a2+c2)*(b2+d2) - cmplx.Abs(x)*cmplx.Abs(x)
+	disc := tr*tr/4 - det
+	if disc < 0 {
+		disc = 0
+	}
+	root := cmplxSqrtReal(disc)
+	l1 := tr/2 + root
+	l2 := tr/2 - root
+	if l2 <= 0 {
+		return cmplxInf()
+	}
+	return cmplxSqrtReal(l1) / cmplxSqrtReal(l2)
+}
+
+func cmplxSqrtReal(x float64) float64 { return real(cmplx.Sqrt(complex(x, 0))) }
+func cmplxInf() float64               { return 1e308 }
+
+// EstimateGain least-squares fits y ≈ h·ref + c over the overlapping
+// prefix and returns h (the covariance slope). The intercept absorbs the
+// strong constant term the direct downlink carrier leaves in the
+// downconverted stream, which would otherwise bias the estimate. ref is
+// a known real training waveform (e.g. a node's FM0 preamble levels).
+func EstimateGain(y []complex128, ref []float64) complex128 {
+	n := len(y)
+	if len(ref) < n {
+		n = len(ref)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sumY complex128
+	var sumR float64
+	for i := 0; i < n; i++ {
+		sumY += y[i]
+		sumR += ref[i]
+	}
+	meanY := sumY / complex(float64(n), 0)
+	meanR := sumR / float64(n)
+	var num complex128
+	var den float64
+	for i := 0; i < n; i++ {
+		r := ref[i] - meanR
+		num += (y[i] - meanY) * complex(r, 0)
+		den += r * r
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / complex(den, 0)
+}
+
+// EstimateChannel builds the 2×2 channel matrix from staggered training:
+// during node k's training window only node k modulates, so each receive
+// channel's gain to that node is a clean least-squares fit.
+//
+// y1, y2 are the two downconverted receive channels; ref1, ref2 the
+// nodes' known training waveforms; win1, win2 the [start,end) sample
+// windows in which each node trained alone.
+func EstimateChannel(y1, y2 []complex128, ref1, ref2 []float64, win1, win2 [2]int) (Matrix2, error) {
+	if err := checkWindow(win1, len(y1)); err != nil {
+		return Matrix2{}, fmt.Errorf("mimo: window 1: %w", err)
+	}
+	if err := checkWindow(win2, len(y1)); err != nil {
+		return Matrix2{}, fmt.Errorf("mimo: window 2: %w", err)
+	}
+	return Matrix2{
+		A: EstimateGain(y1[win1[0]:win1[1]], ref1),
+		B: EstimateGain(y1[win2[0]:win2[1]], ref2),
+		C: EstimateGain(y2[win1[0]:win1[1]], ref1),
+		D: EstimateGain(y2[win2[0]:win2[1]], ref2),
+	}, nil
+}
+
+func checkWindow(w [2]int, n int) error {
+	if w[0] < 0 || w[1] > n || w[0] >= w[1] {
+		return fmt.Errorf("bad window [%d,%d) for length %d", w[0], w[1], n)
+	}
+	return nil
+}
+
+// ZeroForce inverts the channel and recovers the two streams:
+// x̂ = H⁻¹·y per sample (the paper decodes "by zero-forcing through
+// projecting on the orthogonal of the unwanted channel vector").
+func ZeroForce(y1, y2 []complex128, h Matrix2) (x1, x2 []complex128, err error) {
+	inv, err := h.Invert()
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(y1)
+	if len(y2) < n {
+		n = len(y2)
+	}
+	x1 = make([]complex128, n)
+	x2 = make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x1[i] = inv.A*y1[i] + inv.B*y2[i]
+		x2[i] = inv.C*y1[i] + inv.D*y2[i]
+	}
+	return x1, x2, nil
+}
+
+// SINR least-squares fits y ≈ h·ref + c and returns the linear
+// signal-to-(interference+noise) ratio |h|²·P(ref)/P(residual) — the
+// metric Fig 10 reports before and after projection.
+func SINR(y []complex128, ref []float64) float64 {
+	n := len(y)
+	if len(ref) < n {
+		n = len(ref)
+	}
+	if n == 0 {
+		return 0
+	}
+	// Fit with intercept: y ≈ h·ref + c.
+	var sumY, sumYR complex128
+	var sumR, sumRR float64
+	for i := 0; i < n; i++ {
+		sumY += y[i]
+		sumYR += y[i] * complex(ref[i], 0)
+		sumR += ref[i]
+		sumRR += ref[i] * ref[i]
+	}
+	nf := float64(n)
+	den := nf*sumRR - sumR*sumR
+	if den == 0 {
+		return 0
+	}
+	h := (complex(nf, 0)*sumYR - complex(sumR, 0)*sumY) / complex(den, 0)
+	c := (sumY - h*complex(sumR, 0)) / complex(nf, 0)
+	var resid float64
+	var refVar float64
+	refMean := sumR / nf
+	for i := 0; i < n; i++ {
+		d := y[i] - (h*complex(ref[i], 0) + c)
+		resid += real(d)*real(d) + imag(d)*imag(d)
+		rv := ref[i] - refMean
+		refVar += rv * rv
+	}
+	if resid == 0 {
+		return 1e12
+	}
+	hp := cmplx.Abs(h)
+	return hp * hp * refVar / resid
+}
+
+// SINRBlocked is SINR computed on per-decision statistics: y and ref are
+// first averaged over consecutive blocks of `block` samples (one FM0
+// half-bit), then fitted. Receive-filter smear and intra-block
+// correlated disturbance are thereby weighted as the decoder weights
+// them, matching how the single-link SNR of §6.1a is measured.
+func SINRBlocked(y []complex128, ref []float64, block int) float64 {
+	if block <= 1 {
+		return SINR(y, ref)
+	}
+	n := len(y)
+	if len(ref) < n {
+		n = len(ref)
+	}
+	nb := n / block
+	if nb < 4 {
+		return SINR(y, ref)
+	}
+	ym := make([]complex128, nb)
+	rm := make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		var sy complex128
+		var sr float64
+		for i := b * block; i < (b+1)*block; i++ {
+			sy += y[i]
+			sr += ref[i]
+		}
+		ym[b] = sy / complex(float64(block), 0)
+		rm[b] = sr / float64(block)
+	}
+	return SINR(ym, rm)
+}

@@ -1,0 +1,283 @@
+package mimo
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrix2Invert(t *testing.T) {
+	m := Matrix2{A: 1, B: 2, C: 3, D: 4}
+	inv, err := m.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M·M⁻¹ = I.
+	checks := []struct {
+		got  complex128
+		want complex128
+	}{
+		{m.A*inv.A + m.B*inv.C, 1},
+		{m.A*inv.B + m.B*inv.D, 0},
+		{m.C*inv.A + m.D*inv.C, 0},
+		{m.C*inv.B + m.D*inv.D, 1},
+	}
+	for i, c := range checks {
+		if cmplx.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("identity check %d: %v", i, c.got)
+		}
+	}
+}
+
+func TestSingularMatrix(t *testing.T) {
+	m := Matrix2{A: 1, B: 2, C: 2, D: 4}
+	if _, err := m.Invert(); err == nil {
+		t.Error("singular matrix should not invert")
+	}
+}
+
+func TestConditionNumber(t *testing.T) {
+	// Identity: perfectly conditioned.
+	if c := (Matrix2{A: 1, D: 1}).ConditionNumber(); math.Abs(c-1) > 1e-9 {
+		t.Errorf("identity condition %g, want 1", c)
+	}
+	// Diagonal [10, 1]: condition 10.
+	if c := (Matrix2{A: 10, D: 1}).ConditionNumber(); math.Abs(c-10) > 1e-6 {
+		t.Errorf("diag condition %g, want 10", c)
+	}
+	// Near-singular: enormous.
+	if c := (Matrix2{A: 1, B: 1, C: 1, D: 1.0000001}).ConditionNumber(); c < 1e5 {
+		t.Errorf("near-singular condition %g, want huge", c)
+	}
+}
+
+func TestDiversityImprovesConditioning(t *testing.T) {
+	// The recto-piezo claim (footnote 7): frequency-selective channels
+	// (strong diagonal) are better conditioned than flat ones.
+	diverse := Matrix2{A: 1, B: 0.2, C: 0.25, D: 0.8}
+	flat := Matrix2{A: 1, B: 0.9, C: 0.95, D: 1}
+	if diverse.ConditionNumber() >= flat.ConditionNumber() {
+		t.Errorf("diverse %g should beat flat %g",
+			diverse.ConditionNumber(), flat.ConditionNumber())
+	}
+}
+
+func TestEstimateGain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := make([]float64, 500)
+	for i := range ref {
+		ref[i] = float64(rng.Intn(2))*0.4 + 0.6 // two-level waveform
+	}
+	h := complex(0.8, -0.3)
+	y := make([]complex128, len(ref))
+	for i := range y {
+		y[i] = h * complex(ref[i], 0)
+	}
+	if got := EstimateGain(y, ref); cmplx.Abs(got-h) > 1e-12 {
+		t.Errorf("gain %v, want %v", got, h)
+	}
+	if EstimateGain(y, make([]float64, len(y))) != 0 {
+		t.Error("zero reference should give zero gain")
+	}
+}
+
+func TestEstimateGainNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := make([]float64, 4000)
+	for i := range ref {
+		ref[i] = float64(rng.Intn(2))
+	}
+	h := complex(-0.5, 0.7)
+	y := make([]complex128, len(ref))
+	for i := range y {
+		n := complex(rng.NormFloat64(), rng.NormFloat64()) * 0.1
+		y[i] = h*complex(ref[i], 0) + n
+	}
+	if got := EstimateGain(y, ref); cmplx.Abs(got-h) > 0.02 {
+		t.Errorf("noisy gain %v, want %v", got, h)
+	}
+}
+
+// synthCollision builds a two-node collision scenario and returns
+// everything a receiver would have.
+func synthCollision(rng *rand.Rand, h Matrix2, n int) (y1, y2 []complex128, x1, x2 []float64) {
+	x1 = make([]float64, n)
+	x2 = make([]float64, n)
+	// Different bit periods so the streams are uncorrelated.
+	for i := range x1 {
+		x1[i] = float64((i / 40) % 2)
+		x2[i] = float64((i/56)%2) * 0.9
+	}
+	y1 = make([]complex128, n)
+	y2 = make([]complex128, n)
+	for i := 0; i < n; i++ {
+		s1 := complex(x1[i], 0)
+		s2 := complex(x2[i], 0)
+		noise1 := complex(rng.NormFloat64(), rng.NormFloat64()) * 0.02
+		noise2 := complex(rng.NormFloat64(), rng.NormFloat64()) * 0.02
+		y1[i] = h.A*s1 + h.B*s2 + noise1
+		y2[i] = h.C*s1 + h.D*s2 + noise2
+	}
+	return
+}
+
+func TestZeroForceRecoversStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := Matrix2{A: 1, B: complex(0.3, 0.1), C: complex(0.25, -0.2), D: 0.8}
+	y1, y2, x1, x2 := synthCollision(rng, h, 8000)
+
+	beforeSINR1 := SINR(y1, x1)
+	beforeSINR2 := SINR(y2, x2)
+
+	r1, r2, err := ZeroForce(y1, y2, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterSINR1 := SINR(r1, x1)
+	afterSINR2 := SINR(r2, x2)
+
+	// Zero-forcing must dramatically improve both streams (Fig 10).
+	if afterSINR1 < 10*beforeSINR1 {
+		t.Errorf("stream 1: before %g, after %g", beforeSINR1, afterSINR1)
+	}
+	if afterSINR2 < 10*beforeSINR2 {
+		t.Errorf("stream 2: before %g, after %g", beforeSINR2, afterSINR2)
+	}
+}
+
+func TestEstimateChannelFromTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := Matrix2{A: complex(0.9, 0.1), B: complex(0.35, -0.05), C: complex(0.3, 0.2), D: complex(0.75, -0.1)}
+	n := 6000
+	// Node 1 trains alone in [0,1000), node 2 alone in [1000,2000).
+	ref1 := make([]float64, 1000)
+	ref2 := make([]float64, 1000)
+	for i := range ref1 {
+		ref1[i] = float64((i / 25) % 2)
+		ref2[i] = float64((i / 31) % 2)
+	}
+	y1 := make([]complex128, n)
+	y2 := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		var s1, s2 complex128
+		if i < 1000 {
+			s1 = complex(ref1[i], 0)
+		} else if i < 2000 {
+			s2 = complex(ref2[i-1000], 0)
+		} else {
+			s1 = complex(float64((i/40)%2), 0)
+			s2 = complex(float64((i/56)%2), 0)
+		}
+		noise := func() complex128 { return complex(rng.NormFloat64(), rng.NormFloat64()) * 0.01 }
+		y1[i] = h.A*s1 + h.B*s2 + noise()
+		y2[i] = h.C*s1 + h.D*s2 + noise()
+	}
+	got, err := EstimateChannel(y1, y2, ref1, ref2, [2]int{0, 1000}, [2]int{1000, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range []struct{ got, want complex128 }{
+		{got.A, h.A}, {got.B, h.B}, {got.C, h.C}, {got.D, h.D},
+	} {
+		if cmplx.Abs(pair.got-pair.want) > 0.01 {
+			t.Errorf("estimated %v, want %v", pair.got, pair.want)
+		}
+	}
+	// Bad windows error.
+	if _, err := EstimateChannel(y1, y2, ref1, ref2, [2]int{-1, 5}, [2]int{0, 5}); err == nil {
+		t.Error("negative window should error")
+	}
+	if _, err := EstimateChannel(y1, y2, ref1, ref2, [2]int{0, 5}, [2]int{5, 99999}); err == nil {
+		t.Error("overlong window should error")
+	}
+}
+
+func TestSINRProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := make([]float64, 2000)
+	for i := range ref {
+		ref[i] = float64((i / 50) % 2)
+	}
+	// Pure signal: enormous SINR.
+	clean := make([]complex128, len(ref))
+	for i := range clean {
+		clean[i] = complex(0.7*ref[i]+0.2, 0)
+	}
+	if s := SINR(clean, ref); s < 1e6 {
+		t.Errorf("clean SINR %g should be huge", s)
+	}
+	// Known noise level: SINR ≈ |h|²·var(ref)/σ².
+	sigma := 0.1
+	noisy := make([]complex128, len(ref))
+	for i := range noisy {
+		noisy[i] = complex(0.7*ref[i], 0) + complex(rng.NormFloat64(), rng.NormFloat64())*complex(sigma/math.Sqrt2, 0)
+	}
+	refVar := 0.25 * 0.49 // var of 0/0.7 levels = (0.35)²... checked below loosely
+	_ = refVar
+	got := SINR(noisy, ref)
+	want := 0.49 * 0.25 / (sigma * sigma)
+	if got < want/2 || got > want*2 {
+		t.Errorf("SINR %g, want ~%g", got, want)
+	}
+	if SINR(nil, ref) != 0 {
+		t.Error("empty SINR should be 0")
+	}
+}
+
+func TestZeroForcePropertyRandomChannels(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := Matrix2{
+			A: complex(0.5+rng.Float64(), rng.NormFloat64()*0.2),
+			B: complex(rng.Float64()*0.4, rng.NormFloat64()*0.1),
+			C: complex(rng.Float64()*0.4, rng.NormFloat64()*0.1),
+			D: complex(0.5+rng.Float64(), rng.NormFloat64()*0.2),
+		}
+		y1, y2, x1, x2 := synthCollision(rng, h, 4000)
+		r1, r2, err := ZeroForce(y1, y2, h)
+		if err != nil {
+			return true // singular random draw
+		}
+		return SINR(r1, x1) > SINR(y1, x1) && SINR(r2, x2) > SINR(y2, x2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSINRBlockedAveragesCorrelatedDisturbance(t *testing.T) {
+	// A disturbance that alternates sign within each block cancels in
+	// the block mean: the blocked SINR must exceed the per-sample SINR.
+	rng := rand.New(rand.NewSource(11))
+	block := 40
+	n := 400 * block / 10
+	ref := make([]float64, n)
+	y := make([]complex128, n)
+	for i := range ref {
+		ref[i] = float64((i / block) % 2)
+		disturb := 0.5
+		if i%2 == 1 {
+			disturb = -0.5
+		}
+		y[i] = complex(0.7*ref[i]+disturb, 0) + complex(rng.NormFloat64(), 0)*0.01
+	}
+	perSample := SINR(y, ref)
+	blocked := SINRBlocked(y, ref, block)
+	if blocked <= 10*perSample {
+		t.Errorf("blocked %g should far exceed per-sample %g", blocked, perSample)
+	}
+}
+
+func TestSINRBlockedFallsBack(t *testing.T) {
+	ref := []float64{1, 0, 1, 0}
+	y := []complex128{1, 0, 1, 0}
+	// block ≤ 1 and too-few-blocks paths both fall back to SINR.
+	if SINRBlocked(y, ref, 1) != SINR(y, ref) {
+		t.Error("block ≤ 1 should fall back to SINR")
+	}
+	if SINRBlocked(y, ref, 3) != SINR(y, ref) {
+		t.Error("fewer than 4 blocks should fall back to SINR")
+	}
+}

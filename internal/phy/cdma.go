@@ -1,0 +1,133 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+)
+
+// CDMA support exists to evaluate the paper's footnote 4: "CDMA requires
+// the same overall bandwidth as standard FDMA since it uses a spreading
+// code at a higher rate than the transmitted signals". Walsh–Hadamard
+// codes give synchronous orthogonality; spreading multiplies the chip
+// rate (and hence occupied bandwidth) by the code length, so K users at
+// bitrate R need K·R of chip rate — exactly the K channels of FDMA.
+
+// WalshCodes returns the 2^k orthogonal Walsh–Hadamard codes of length
+// 2^k as ±1 chip sequences.
+func WalshCodes(order int) ([][]float64, error) {
+	if order < 0 || order > 16 {
+		return nil, fmt.Errorf("phy: walsh order %d out of range [0, 16]", order)
+	}
+	n := 1 << uint(order)
+	h := make([][]float64, n)
+	for i := range h {
+		h[i] = make([]float64, n)
+	}
+	h[0][0] = 1
+	for size := 1; size < n; size <<= 1 {
+		for r := 0; r < size; r++ {
+			for c := 0; c < size; c++ {
+				v := h[r][c]
+				h[r][c+size] = v
+				h[r+size][c] = v
+				h[r+size][c+size] = -v
+			}
+		}
+	}
+	return h, nil
+}
+
+// Spread maps bits to a ±1 chip stream: each bit is multiplied over the
+// user's code (DSSS).
+func Spread(bits []Bit, code []float64) ([]float64, error) {
+	if len(code) == 0 {
+		return nil, fmt.Errorf("phy: empty spreading code")
+	}
+	out := make([]float64, 0, len(bits)*len(code))
+	for _, b := range bits {
+		s := 1.0
+		if b == 0 {
+			s = -1
+		}
+		for _, c := range code {
+			out = append(out, s*c)
+		}
+	}
+	return out, nil
+}
+
+// Despread correlates a chip stream against the user's code and slices
+// the per-bit correlations. Synchronous orthogonal users cancel exactly.
+func Despread(chips []float64, code []float64, nbits int) ([]Bit, error) {
+	if len(code) == 0 {
+		return nil, fmt.Errorf("phy: empty spreading code")
+	}
+	if max := len(chips) / len(code); nbits > max {
+		nbits = max
+	}
+	if nbits <= 0 {
+		return nil, fmt.Errorf("phy: chip stream shorter than one bit")
+	}
+	bits := make([]Bit, nbits)
+	for i := 0; i < nbits; i++ {
+		var corr float64
+		for j, c := range code {
+			corr += chips[i*len(code)+j] * c
+		}
+		if corr >= 0 {
+			bits[i] = 1
+		}
+	}
+	return bits, nil
+}
+
+// CDMAOccupiedBandwidth returns the occupied bandwidth of a DSSS user at
+// the given bitrate and spreading factor: the chip rate is
+// bitrate × factor and the null-to-null bandwidth scales with it, just
+// as OccupiedBandwidth does for the unspread FM0 signal.
+func CDMAOccupiedBandwidth(bitrate float64, spreadingFactor int) float64 {
+	return OccupiedBandwidth(bitrate * float64(spreadingFactor))
+}
+
+// MultipleAccessBandwidth compares the total spectrum needed by K
+// concurrent users at equal bitrate under the two schemes the paper
+// discusses (§3.3.1 footnote 4). FDMA needs K channels of the per-user
+// bandwidth; CDMA needs one channel whose spreading factor is ≥ K for
+// orthogonality — the same total. It returns (fdmaHz, cdmaHz).
+func MultipleAccessBandwidth(users int, bitrate float64) (float64, float64, error) {
+	if users < 1 || bitrate <= 0 {
+		return 0, 0, fmt.Errorf("phy: need ≥1 user and positive bitrate")
+	}
+	fdma := float64(users) * OccupiedBandwidth(bitrate)
+	// Smallest power-of-two code family with ≥ users codes.
+	factor := 1
+	for factor < users {
+		factor <<= 1
+	}
+	cdma := CDMAOccupiedBandwidth(bitrate, factor)
+	return fdma, cdma, nil
+}
+
+// DespreadSoft returns the per-bit correlation values (for SNR analysis
+// of asynchronous interference).
+func DespreadSoft(chips []float64, code []float64, nbits int) ([]float64, error) {
+	if len(code) == 0 {
+		return nil, fmt.Errorf("phy: empty spreading code")
+	}
+	if max := len(chips) / len(code); nbits > max {
+		nbits = max
+	}
+	if nbits <= 0 {
+		return nil, fmt.Errorf("phy: chip stream shorter than one bit")
+	}
+	out := make([]float64, nbits)
+	norm := 1 / math.Sqrt(float64(len(code)))
+	for i := 0; i < nbits; i++ {
+		var corr float64
+		for j, c := range code {
+			corr += chips[i*len(code)+j] * c
+		}
+		out[i] = corr * norm
+	}
+	return out, nil
+}

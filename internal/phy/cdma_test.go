@@ -1,0 +1,176 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWalshCodesOrthogonal(t *testing.T) {
+	for _, order := range []int{0, 1, 2, 3, 5} {
+		codes, err := WalshCodes(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 << uint(order)
+		if len(codes) != n {
+			t.Fatalf("order %d: %d codes", order, len(codes))
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var dot float64
+				for k := 0; k < n; k++ {
+					dot += codes[i][k] * codes[j][k]
+				}
+				want := 0.0
+				if i == j {
+					want = float64(n)
+				}
+				if math.Abs(dot-want) > 1e-12 {
+					t.Fatalf("order %d: <c%d, c%d> = %g, want %g", order, i, j, dot, want)
+				}
+			}
+		}
+	}
+	if _, err := WalshCodes(-1); err == nil {
+		t.Error("negative order should error")
+	}
+	if _, err := WalshCodes(20); err == nil {
+		t.Error("huge order should error")
+	}
+}
+
+func TestSpreadDespreadRoundTrip(t *testing.T) {
+	codes, _ := WalshCodes(3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := make([]Bit, 1+rng.Intn(60))
+		for i := range bits {
+			bits[i] = Bit(rng.Intn(2))
+		}
+		code := codes[rng.Intn(len(codes))]
+		chips, err := Spread(bits, code)
+		if err != nil {
+			return false
+		}
+		got, err := Despread(chips, code, len(bits))
+		if err != nil {
+			return false
+		}
+		return CountBitErrors(bits, got) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynchronousUsersSeparate(t *testing.T) {
+	// Two synchronous users on orthogonal codes: each decodes cleanly
+	// through the sum.
+	codes, _ := WalshCodes(2)
+	rng := rand.New(rand.NewSource(5))
+	bits1 := make([]Bit, 40)
+	bits2 := make([]Bit, 40)
+	for i := range bits1 {
+		bits1[i] = Bit(rng.Intn(2))
+		bits2[i] = Bit(rng.Intn(2))
+	}
+	c1, c2 := codes[1], codes[2]
+	s1, _ := Spread(bits1, c1)
+	s2, _ := Spread(bits2, c2)
+	sum := make([]float64, len(s1))
+	for i := range sum {
+		sum[i] = s1[i] + s2[i]
+	}
+	got1, err := Despread(sum, c1, len(bits1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Despread(sum, c2, len(bits2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountBitErrors(bits1, got1) != 0 || CountBitErrors(bits2, got2) != 0 {
+		t.Error("orthogonal synchronous users should separate exactly")
+	}
+}
+
+func TestAsynchronousUsersInterfere(t *testing.T) {
+	// A one-chip offset destroys Walsh orthogonality — the reason
+	// synchronisation-free backscatter favours FDMA over CDMA.
+	codes, _ := WalshCodes(3)
+	rng := rand.New(rand.NewSource(9))
+	bits1 := make([]Bit, 200)
+	bits2 := make([]Bit, 200)
+	for i := range bits1 {
+		bits1[i] = Bit(rng.Intn(2))
+		bits2[i] = Bit(rng.Intn(2))
+	}
+	s1, _ := Spread(bits1, codes[3])
+	s2, _ := Spread(bits2, codes[5])
+	sum := make([]float64, len(s1))
+	for i := range sum {
+		sum[i] = s1[i]
+		if i+1 < len(s2) {
+			sum[i] += s2[i+1] // one-chip misalignment
+		}
+	}
+	soft, err := DespreadSoft(sum, codes[3], len(bits1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interference shows as variance in the soft correlations beyond the
+	// clean ±√N levels.
+	var offLevel int
+	clean := math.Sqrt(8)
+	for _, v := range soft {
+		if math.Abs(math.Abs(v)-clean) > 0.1 {
+			offLevel++
+		}
+	}
+	if offLevel == 0 {
+		t.Error("asynchronous interference should perturb the correlations")
+	}
+}
+
+func TestMultipleAccessBandwidthFootnote4(t *testing.T) {
+	// The paper's footnote 4: CDMA needs the same overall bandwidth as
+	// FDMA (for power-of-two user counts; otherwise CDMA rounds up to
+	// the next code family and needs slightly more).
+	for _, users := range []int{1, 2, 4, 8} {
+		fdma, cdma, err := MultipleAccessBandwidth(users, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fdma-cdma) > 1e-9 {
+			t.Errorf("%d users: FDMA %g Hz vs CDMA %g Hz, want equal", users, fdma, cdma)
+		}
+	}
+	// Non-power-of-two: CDMA rounds up.
+	fdma, cdma, err := MultipleAccessBandwidth(3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdma <= fdma {
+		t.Errorf("3 users: CDMA %g should exceed FDMA %g (code family rounds to 4)", cdma, fdma)
+	}
+	if _, _, err := MultipleAccessBandwidth(0, 500); err == nil {
+		t.Error("zero users should error")
+	}
+}
+
+func TestCDMAErrors(t *testing.T) {
+	if _, err := Spread([]Bit{1}, nil); err == nil {
+		t.Error("empty code should error")
+	}
+	if _, err := Despread([]float64{1}, nil, 1); err == nil {
+		t.Error("empty code should error")
+	}
+	if _, err := Despread([]float64{1}, []float64{1, -1}, 1); err == nil {
+		t.Error("short chip stream should error")
+	}
+	if _, err := DespreadSoft([]float64{1}, []float64{1, -1}, 1); err == nil {
+		t.Error("short chip stream should error")
+	}
+}

@@ -1,0 +1,99 @@
+package phy
+
+import "fmt"
+
+// Gold-code support rounds out the CDMA comparison: Walsh codes need
+// chip-synchronous users (impossible for uncoordinated backscatter
+// nodes), while Gold codes bound the cross-correlation at *any* relative
+// shift — the classic asynchronous-CDMA family. Their bounded-but-
+// nonzero cross-correlation is the residual interference that, together
+// with footnote 4's bandwidth argument, is why the paper chose FDMA.
+
+// lfsr generates a maximal-length sequence (m-sequence) of length
+// 2^n − 1 from the given primitive feedback taps (bit positions, LSB =
+// stage 1).
+func lfsr(n int, taps []int) []float64 {
+	length := 1<<uint(n) - 1
+	state := 1 // any nonzero seed
+	out := make([]float64, length)
+	for i := 0; i < length; i++ {
+		bit := state & 1
+		if bit == 1 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+		fb := 0
+		for _, tp := range taps {
+			fb ^= (state >> uint(tp-1)) & 1
+		}
+		state = (state >> 1) | (fb << uint(n-1))
+	}
+	return out
+}
+
+// preferredPairs lists primitive polynomial tap sets whose m-sequences
+// form preferred pairs (bounded three-valued cross-correlation) for the
+// supported register lengths.
+// (Tap positions follow this file's Fibonacci-LFSR convention; the
+// pairs were verified empirically to achieve the Gold bound t(n).)
+var preferredPairs = map[int][2][]int{
+	5: {{5, 4, 2, 1}, {5, 4, 3, 1}},
+	7: {{7, 1}, {7, 6, 3, 1}},
+}
+
+// GoldCodes returns 2^n + 1 Gold codes of length 2^n − 1 for n ∈ {5, 7}.
+// Each code is a ±1 chip sequence.
+func GoldCodes(n int) ([][]float64, error) {
+	pair, ok := preferredPairs[n]
+	if !ok {
+		return nil, fmt.Errorf("phy: gold codes supported for n ∈ {5, 7}, got %d", n)
+	}
+	u := lfsr(n, pair[0])
+	v := lfsr(n, pair[1])
+	length := len(u)
+	codes := make([][]float64, 0, length+2)
+	codes = append(codes, u, v)
+	for shift := 0; shift < length; shift++ {
+		c := make([]float64, length)
+		for i := range c {
+			c[i] = u[i] * v[(i+shift)%length]
+		}
+		codes = append(codes, c)
+	}
+	return codes, nil
+}
+
+// CrossCorrelationBound returns the theoretical maximum absolute
+// periodic cross-correlation of a Gold family of register length n:
+// t(n) = 2^⌊(n+2)/2⌋ + 1.
+func CrossCorrelationBound(n int) int {
+	return 1<<uint((n+2)/2) + 1
+}
+
+// PeriodicCrossCorrelation returns the maximum |correlation| between two
+// ±1 sequences over all cyclic shifts.
+func PeriodicCrossCorrelation(a, b []float64) (int, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, fmt.Errorf("phy: sequences must be equal nonzero length")
+	}
+	n := len(a)
+	maxAbs := 0
+	for shift := 0; shift < n; shift++ {
+		sum := 0
+		for i := 0; i < n; i++ {
+			if a[i]*b[(i+shift)%n] > 0 {
+				sum++
+			} else {
+				sum--
+			}
+		}
+		if sum < 0 {
+			sum = -sum
+		}
+		if sum > maxAbs {
+			maxAbs = sum
+		}
+	}
+	return maxAbs, nil
+}

@@ -1,0 +1,125 @@
+package phy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLFSRMaximalLength(t *testing.T) {
+	// An m-sequence of register length n has period 2^n − 1 and is
+	// balanced within one chip.
+	for n, pair := range preferredPairs {
+		for _, taps := range pair {
+			seq := lfsr(n, taps)
+			want := 1<<uint(n) - 1
+			if len(seq) != want {
+				t.Fatalf("n=%d: length %d, want %d", n, len(seq), want)
+			}
+			sum := 0.0
+			for _, v := range seq {
+				sum += v
+			}
+			if math.Abs(sum) != 1 {
+				t.Errorf("n=%d taps %v: balance %g, want ±1", n, taps, sum)
+			}
+			// Shift-and-add/autocorrelation property: off-peak periodic
+			// autocorrelation of an m-sequence is exactly −1.
+			m, err := PeriodicCrossCorrelation(seq, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m != want { // peak at zero shift
+				t.Errorf("n=%d: autocorr peak %d, want %d", n, m, want)
+			}
+			for shift := 1; shift < len(seq); shift++ {
+				sum := 0
+				for i := range seq {
+					if seq[i]*seq[(i+shift)%len(seq)] > 0 {
+						sum++
+					} else {
+						sum--
+					}
+				}
+				if sum != -1 {
+					t.Fatalf("n=%d shift %d: autocorr %d, want −1", n, shift, sum)
+
+				}
+			}
+		}
+	}
+}
+
+func TestGoldFamilySizeAndBound(t *testing.T) {
+	for _, n := range []int{5, 7} {
+		codes, err := GoldCodes(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCount := 1<<uint(n) + 1
+		if len(codes) != wantCount {
+			t.Fatalf("n=%d: %d codes, want %d", n, len(codes), wantCount)
+		}
+		bound := CrossCorrelationBound(n)
+		// Spot-check pairs (full scan is O(F²·L²); sample it).
+		pairs := [][2]int{{0, 1}, {0, 2}, {1, 5}, {2, 7}, {3, len(codes) - 1}}
+		for _, pr := range pairs {
+			m, err := PeriodicCrossCorrelation(codes[pr[0]], codes[pr[1]])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m > bound {
+				t.Errorf("n=%d codes %v: cross-corr %d exceeds Gold bound %d", n, pr, m, bound)
+			}
+		}
+	}
+}
+
+func TestGoldBeatsWalshAsynchronously(t *testing.T) {
+	// The asynchronous-CDMA argument: Walsh codes lose orthogonality
+	// completely under cyclic shift (cross-correlation can reach the
+	// full sequence length), while Gold codes stay within t(n).
+	walsh, _ := WalshCodes(5) // length 32
+	worstWalsh := 0
+	for i := 1; i < len(walsh); i++ {
+		for j := i + 1; j < len(walsh); j++ {
+			m, err := PeriodicCrossCorrelation(walsh[i], walsh[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m > worstWalsh {
+				worstWalsh = m
+			}
+		}
+	}
+	gold, _ := GoldCodes(5) // length 31
+	worstGold := 0
+	for i := 0; i < len(gold); i++ {
+		for j := i + 1; j < len(gold); j++ {
+			m, err := PeriodicCrossCorrelation(gold[i], gold[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m > worstGold {
+				worstGold = m
+			}
+		}
+	}
+	if worstGold >= worstWalsh {
+		t.Errorf("gold worst-case shift correlation %d should beat walsh %d", worstGold, worstWalsh)
+	}
+	if worstGold > CrossCorrelationBound(5) {
+		t.Errorf("gold correlation %d above bound %d", worstGold, CrossCorrelationBound(5))
+	}
+}
+
+func TestGoldErrors(t *testing.T) {
+	if _, err := GoldCodes(4); err == nil {
+		t.Error("unsupported register length should error")
+	}
+	if _, err := PeriodicCrossCorrelation([]float64{1}, []float64{1, -1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := PeriodicCrossCorrelation(nil, nil); err == nil {
+		t.Error("empty sequences should error")
+	}
+}

@@ -1,0 +1,72 @@
+package phy
+
+import "fmt"
+
+// Manchester is the alternative bi-phase line code the paper names next
+// to FM0 (§3.2: "modulation schemes like FM0 or Manchester encoding,
+// where the reflection state switches at every bit"). A '1' is encoded
+// as high→low, a '0' as low→high; every bit carries a mid-bit
+// transition, which gives self-clocking at the cost of FM0's
+// boundary-transition redundancy.
+type Manchester struct {
+	// SamplesPerBit is the (even) number of samples per bit interval.
+	SamplesPerBit int
+}
+
+// NewManchester validates the configuration.
+func NewManchester(samplesPerBit int) (*Manchester, error) {
+	if samplesPerBit < 2 {
+		return nil, fmt.Errorf("phy: manchester needs ≥2 samples per bit, got %d", samplesPerBit)
+	}
+	if samplesPerBit%2 != 0 {
+		return nil, fmt.Errorf("phy: manchester samples per bit must be even, got %d", samplesPerBit)
+	}
+	return &Manchester{SamplesPerBit: samplesPerBit}, nil
+}
+
+// Encode returns the ±1 level waveform for bits.
+func (m *Manchester) Encode(bits []Bit) []float64 {
+	half := m.SamplesPerBit / 2
+	wave := make([]float64, 0, len(bits)*m.SamplesPerBit)
+	for _, b := range bits {
+		first, second := 1.0, -1.0
+		if b == 0 {
+			first, second = -1.0, 1.0
+		}
+		for i := 0; i < half; i++ {
+			wave = append(wave, first)
+		}
+		for i := 0; i < half; i++ {
+			wave = append(wave, second)
+		}
+	}
+	return wave
+}
+
+// Decode recovers bits by comparing the two half-bit means — the mid-bit
+// transition direction is the bit. Unlike FM0 there is no level memory,
+// so no polarity reference is needed beyond the global sign convention.
+func (m *Manchester) Decode(wave []float64, nbits int) []Bit {
+	if nbits <= 0 || len(wave) < m.SamplesPerBit {
+		return nil
+	}
+	if max := len(wave) / m.SamplesPerBit; nbits > max {
+		nbits = max
+	}
+	half := m.SamplesPerBit / 2
+	bits := make([]Bit, nbits)
+	for i := 0; i < nbits; i++ {
+		seg := wave[i*m.SamplesPerBit : (i+1)*m.SamplesPerBit]
+		m1 := meanOf(seg[:half])
+		m2 := meanOf(seg[half:])
+		if m1 >= m2 {
+			bits[i] = 1
+		}
+	}
+	return bits
+}
+
+// Bitrate returns the data rate in bit/s at sample rate fs.
+func (m *Manchester) Bitrate(fs float64) float64 {
+	return fs / float64(m.SamplesPerBit)
+}

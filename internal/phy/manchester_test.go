@@ -1,0 +1,115 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestManchesterValidation(t *testing.T) {
+	if _, err := NewManchester(1); err == nil {
+		t.Error("1 sample/bit should error")
+	}
+	if _, err := NewManchester(7); err == nil {
+		t.Error("odd samples/bit should error")
+	}
+	if _, err := NewManchester(8); err != nil {
+		t.Errorf("8 samples/bit should work: %v", err)
+	}
+}
+
+func TestManchesterRoundTrip(t *testing.T) {
+	m, _ := NewManchester(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := randBits(rng, 1+rng.Intn(100))
+		got := m.Decode(m.Encode(bits), len(bits))
+		return CountBitErrors(bits, got) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManchesterMidBitTransitionEveryBit(t *testing.T) {
+	m, _ := NewManchester(8)
+	wave := m.Encode([]Bit{1, 1, 0, 0, 1})
+	for i := 0; i < 5; i++ {
+		first := wave[i*8+3]
+		second := wave[i*8+4]
+		if first == second {
+			t.Errorf("bit %d lacks the mid-bit transition", i)
+		}
+	}
+}
+
+func TestManchesterAmplitudeInvariant(t *testing.T) {
+	m, _ := NewManchester(10)
+	rng := rand.New(rand.NewSource(3))
+	bits := randBits(rng, 50)
+	wave := m.Encode(bits)
+	for i, v := range wave {
+		wave[i] = 0.7 + 0.1*v // arbitrary levels
+	}
+	if CountBitErrors(bits, m.Decode(wave, len(bits))) != 0 {
+		t.Error("decode should be offset/scale invariant")
+	}
+}
+
+func TestManchesterNoisy(t *testing.T) {
+	m, _ := NewManchester(16)
+	rng := rand.New(rand.NewSource(5))
+	bits := randBits(rng, 200)
+	wave := m.Encode(bits)
+	for i := range wave {
+		wave[i] += rng.NormFloat64() * 0.5
+	}
+	if e := CountBitErrors(bits, m.Decode(wave, len(bits))); e > 1 {
+		t.Errorf("noisy decode: %d errors", e)
+	}
+}
+
+func TestManchesterDegenerateInputs(t *testing.T) {
+	m, _ := NewManchester(8)
+	if m.Decode(nil, 5) != nil {
+		t.Error("empty wave should decode to nil")
+	}
+	if got := m.Decode(m.Encode([]Bit{1, 0}), 10); len(got) != 2 {
+		t.Errorf("decode should clamp to available bits, got %d", len(got))
+	}
+	if m.Bitrate(96000) != 12000 {
+		t.Error("bitrate wrong")
+	}
+}
+
+func TestFM0vsManchesterTradeoff(t *testing.T) {
+	// In pure AWGN the two bi-phase codes are close, with Manchester
+	// holding a small raw-BER edge: its decisions are independent per
+	// bit, while an FM0 level-tracking error event corrupts two bits.
+	// FM0 still wins where it matters for backscatter — its guaranteed
+	// boundary transition gives the receiver a self-synchronising edge
+	// for clock recovery, which is why RFID (and the paper) use it. This
+	// test pins the raw-BER relationship so the trade-off stays honest.
+	fm0, _ := NewFM0(8)
+	man, _ := NewManchester(8)
+	rng := rand.New(rand.NewSource(17))
+	fmErrs, manErrs := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		bits := randBits(rng, 100)
+		w1, _ := fm0.Encode(bits, 1)
+		w2 := man.Encode(bits)
+		for i := range w1 {
+			w1[i] += rng.NormFloat64() * 1.0
+			w2[i] += rng.NormFloat64() * 1.0
+		}
+		got1, _ := fm0.DecodeFrom(w1, len(bits), 1)
+		fmErrs += CountBitErrors(bits, got1)
+		manErrs += CountBitErrors(bits, man.Decode(w2, len(bits)))
+	}
+	if fmErrs > 4*manErrs {
+		t.Errorf("FM0 (%d errors) should stay within ~2× of Manchester (%d); error propagation is worse than expected", fmErrs, manErrs)
+	}
+	if manErrs > fmErrs {
+		t.Errorf("Manchester (%d) unexpectedly lost to FM0 (%d) in raw AWGN", manErrs, fmErrs)
+	}
+}

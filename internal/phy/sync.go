@@ -1,0 +1,234 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"pab/internal/dsp"
+)
+
+// PreambleBits is the 9-bit synchronisation pattern used on both links
+// (the paper's downlink query "includes a 9-bit preamble", §5.1a; the
+// uplink packet leads with the same length). The pattern maximises
+// transition density under FM0 for sharp correlation.
+var PreambleBits = []Bit{1, 0, 1, 1, 0, 0, 1, 0, 1}
+
+// Sync describes a detected packet: where the preamble starts, how
+// confident the correlator is, and the FM0 levels needed to decode what
+// follows coherently.
+type Sync struct {
+	// Index is the sample index of the first preamble sample.
+	Index int
+	// Score is the normalised correlation magnitude (≤ 1).
+	Score float64
+	// StartLevel is the FM0 level preceding the preamble (±1).
+	StartLevel float64
+	// PayloadLevel is the FM0 level preceding the first payload bit —
+	// pass it to FM0.DecodeFrom for the bits after the preamble.
+	PayloadLevel float64
+	// PayloadIndex is the sample index of the first payload sample.
+	PayloadIndex int
+}
+
+// DetectPacket locates the start of an FM0 packet in a baseband
+// amplitude waveform by normalised cross-correlation against the encoded
+// preamble, resolving FM0's polarity ambiguity from the correlation sign.
+// It returns an error when no point exceeds the threshold. The waveform
+// need not be mean-centred; DetectPacket removes the mean itself.
+func DetectPacket(wave []float64, m *FM0, threshold float64) (Sync, error) {
+	cands, err := DetectPacketCandidates(wave, m, threshold, 1, 0)
+	if err != nil {
+		return Sync{}, err
+	}
+	return cands[0], nil
+}
+
+// DetectPacketCandidates returns up to maxK candidate packet starts,
+// strongest first, separated by at least minSeparation samples (default:
+// one preamble length). Multiple candidates let a receiver disambiguate
+// when payload structure correlates with the preamble template as well —
+// it can test each candidate and keep the one that decodes.
+func DetectPacketCandidates(wave []float64, m *FM0, threshold float64, maxK, minSeparation int) ([]Sync, error) {
+	tmpl := m.EncodeTemplate(PreambleBits)
+	if len(wave) < len(tmpl) {
+		return nil, fmt.Errorf("phy: waveform shorter than preamble (%d < %d)", len(wave), len(tmpl))
+	}
+	if maxK < 1 {
+		maxK = 1
+	}
+	if minSeparation <= 0 {
+		minSeparation = len(tmpl)
+	}
+	centered := make([]float64, len(wave))
+	mean := meanOf(wave)
+	for i, v := range wave {
+		centered[i] = v - mean
+	}
+	corr := dsp.NormalizedCrossCorrelate(centered, tmpl)
+	// FM0's start level is unknown, so the preamble may appear inverted:
+	// search |corr| and recover the polarity from the sign.
+	taken := make([]bool, len(corr))
+	var out []Sync
+	for k := 0; k < maxK; k++ {
+		bestIdx, bestAbs := -1, threshold
+		for i, v := range corr {
+			if taken[i] {
+				continue
+			}
+			if a := math.Abs(v); a >= bestAbs {
+				bestIdx, bestAbs = i, a
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		val := corr[bestIdx]
+		start := 1.0
+		if val < 0 {
+			start = -1
+		}
+		_, finalLevel := m.Encode(PreambleBits, start)
+		out = append(out, Sync{
+			Index:        bestIdx,
+			Score:        math.Abs(val),
+			StartLevel:   start,
+			PayloadLevel: finalLevel,
+			PayloadIndex: bestIdx + len(PreambleBits)*m.SamplesPerBit,
+		})
+		lo := bestIdx - minSeparation
+		if lo < 0 {
+			lo = 0
+		}
+		hi := bestIdx + minSeparation
+		if hi > len(corr) {
+			hi = len(corr)
+		}
+		for i := lo; i < hi; i++ {
+			taken[i] = true
+		}
+	}
+	if len(out) == 0 {
+		_, best := dsp.ArgMaxAbs(corr)
+		return nil, fmt.Errorf("phy: no preamble found (best %.3f < threshold %.3f)", math.Abs(best), threshold)
+	}
+	return out, nil
+}
+
+// EstimateCFO estimates the residual carrier frequency offset (Hz) of a
+// complex baseband signal from the phase slope over a known-modulus
+// segment (e.g. the preamble region). The paper's receiver needs this
+// because projector and hydrophone run on independent oscillators
+// (§5.1b, footnote 12).
+func EstimateCFO(bb []complex128, fs float64) float64 {
+	if len(bb) < 4 {
+		return 0
+	}
+	// Average phase increment via the autocorrelation at lag 1, which is
+	// robust to amplitude modulation (the modulation cancels in
+	// conj(x[n])·x[n+1] as long as amplitude stays positive).
+	var acc complex128
+	for i := 1; i < len(bb); i++ {
+		acc += bb[i] * cmplx.Conj(bb[i-1])
+	}
+	if acc == 0 {
+		return 0
+	}
+	return cmplx.Phase(acc) * fs / (2 * math.Pi)
+}
+
+// CorrectCFO derotates a complex baseband signal by the given frequency
+// offset (Hz), returning a new slice.
+func CorrectCFO(bb []complex128, cfo, fs float64) []complex128 {
+	out := make([]complex128, len(bb))
+	w := -2 * math.Pi * cfo / fs
+	for i, v := range bb {
+		ph := w * float64(i)
+		out[i] = v * complex(math.Cos(ph), math.Sin(ph))
+	}
+	return out
+}
+
+// MeasureSNR estimates the decision-point SNR (linear power ratio) of a
+// two-level FM0 waveform, following the paper's method (§6.1a): the
+// signal power is the squared modulation (channel) estimate and the
+// noise power is the squared residual around the fitted levels. The
+// statistic is computed on the decoder's actual decision variables —
+// the mean of the central portion of each half-bit — so transition
+// smear from receive filtering and intra-half-bit correlated
+// disturbance are weighted exactly as the decoder experiences them.
+//
+// wave must be bit-aligned FM0 at samplesPerBit; bits are the decoded
+// (or known) bits used to reconstruct the ideal waveform.
+func MeasureSNR(wave []float64, bits []Bit, m *FM0) float64 {
+	if len(bits) == 0 {
+		return 0
+	}
+	n := len(bits) * m.SamplesPerBit
+	if len(wave) < n {
+		return 0
+	}
+	wave = wave[:n]
+
+	// One decision variable per half-bit: the mean of its central
+	// third (edges carry deterministic filter smear).
+	half := m.SamplesPerBit / 2
+	q := half / 3
+	means := make([]float64, 0, 2*len(bits))
+	for h := 0; h < 2*len(bits); h++ {
+		start := h*half + q
+		end := (h+1)*half - q
+		if end <= start {
+			start, end = h*half, (h+1)*half
+		}
+		sum := 0.0
+		for i := start; i < end; i++ {
+			sum += wave[i]
+		}
+		means = append(means, sum/float64(end-start))
+	}
+
+	// Reconstruct the two ideal level assignments and pick the better
+	// (start level unknown).
+	best := math.Inf(-1)
+	for _, start := range []float64{1, -1} {
+		ideal, _ := m.Encode(bits, start)
+		// Ideal level per half-bit.
+		lv := make([]float64, len(means))
+		for h := range lv {
+			lv[h] = ideal[h*half]
+		}
+		// Least-squares fit means ≈ a·lv + b.
+		var sumI, sumW, sumII, sumIW float64
+		for h := range means {
+			sumI += lv[h]
+			sumW += means[h]
+			sumII += lv[h] * lv[h]
+			sumIW += lv[h] * means[h]
+		}
+		nf := float64(len(means))
+		den := nf*sumII - sumI*sumI
+		if den == 0 {
+			continue
+		}
+		a := (nf*sumIW - sumI*sumW) / den
+		b := (sumW - a*sumI) / nf
+		var noise float64
+		for h := range means {
+			d := means[h] - (a*lv[h] + b)
+			noise += d * d
+		}
+		noise /= nf
+		sig := a * a // squared channel estimate (modulation amplitude)
+		if noise <= 0 {
+			return math.Inf(1)
+		}
+		if snr := sig / noise; snr > best {
+			best = snr
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,274 @@
+// Package sensors models the peripherals the paper integrates with PAB
+// nodes in §5.1c/§6.5: an analog pH mini-probe behind an LMP91200-style
+// conditioning front end sampled by the MCU's ADC, and the MS5837-30BA
+// digital pressure/temperature sensor spoken to over I2C. The models
+// reproduce the actual conversion arithmetic the firmware performs, so
+// the end-to-end test "does the decoded payload carry pH 7 / room
+// temperature / 1 bar" exercises the same code path as the paper's
+// demo.
+package sensors
+
+import (
+	"fmt"
+	"math"
+)
+
+// Environment is the water the sensors are immersed in.
+type Environment struct {
+	PH           float64
+	TemperatureC float64
+	PressureBar  float64
+}
+
+// RoomTank returns the conditions of the paper's bench demo: neutral pH,
+// room temperature, atmospheric pressure (§6.5: "correct readings of
+// room temperature and atmospheric pressure (around 1 bar)").
+func RoomTank() Environment {
+	return Environment{PH: 7.0, TemperatureC: 22.0, PressureBar: 1.013}
+}
+
+// ---------------------------------------------------------------------------
+// pH probe + analog front end + ADC
+// ---------------------------------------------------------------------------
+
+// PHProbe is a glass electrode: by the Nernst equation it produces
+// 0 V at pH 7 and about −59.16 mV per pH unit at 25 °C (slope scales
+// with absolute temperature).
+type PHProbe struct {
+	// Slope25C is the electrode slope magnitude at 25 °C, volts/pH.
+	Slope25C float64
+	// OffsetV is the asymmetry potential (electrode aging), volts.
+	OffsetV float64
+}
+
+// NewPHProbe returns an ideal mini probe.
+func NewPHProbe() PHProbe {
+	return PHProbe{Slope25C: 0.05916}
+}
+
+// Voltage returns the electrode potential for the environment.
+func (p PHProbe) Voltage(env Environment) float64 {
+	// Nernst slope ∝ absolute temperature.
+	slope := p.Slope25C * (env.TemperatureC + 273.15) / 298.15
+	return p.OffsetV - slope*(env.PH-7.0)
+}
+
+// AFE is the LMP91200-style conditioning stage: it buffers the
+// high-impedance electrode and maps its bipolar ±414 mV swing into the
+// ADC's unipolar range around a mid-rail bias.
+type AFE struct {
+	Gain  float64 // V/V
+	BiasV float64 // output at 0 V input
+}
+
+// PaperAFE maps ±0.45 V to 0–1.8 V around a 0.9 V mid-rail.
+func PaperAFE() AFE {
+	return AFE{Gain: 2.0, BiasV: 0.9}
+}
+
+// Condition converts the electrode voltage to the ADC input.
+func (a AFE) Condition(v float64) float64 {
+	return a.BiasV + a.Gain*v
+}
+
+// ADC is the MCU's successive-approximation converter (the MSP430's
+// 10-bit ADC10).
+type ADC struct {
+	Bits int
+	Vref float64
+}
+
+// MSP430ADC returns the 10-bit, 1.8 V-referenced converter configuration.
+func MSP430ADC() ADC {
+	return ADC{Bits: 10, Vref: 1.8}
+}
+
+// Sample converts a voltage to a code, clamped to the rail.
+func (a ADC) Sample(v float64) int {
+	maxCode := (1 << a.Bits) - 1
+	code := int(math.Round(v / a.Vref * float64(maxCode)))
+	if code < 0 {
+		return 0
+	}
+	if code > maxCode {
+		return maxCode
+	}
+	return code
+}
+
+// VoltageOf converts a code back to the input voltage.
+func (a ADC) VoltageOf(code int) float64 {
+	maxCode := (1 << a.Bits) - 1
+	return float64(code) / float64(maxCode) * a.Vref
+}
+
+// PHFromCode is the firmware-side conversion: ADC code → pH, inverting
+// the AFE and the (temperature-compensated) Nernst slope. assumedTempC
+// is the firmware's compensation temperature.
+func PHFromCode(code int, adc ADC, afe AFE, probe PHProbe, assumedTempC float64) float64 {
+	v := (adc.VoltageOf(code) - afe.BiasV) / afe.Gain
+	slope := probe.Slope25C * (assumedTempC + 273.15) / 298.15
+	return 7.0 - (v-probe.OffsetV)/slope
+}
+
+// ---------------------------------------------------------------------------
+// MS5837-30BA digital pressure/temperature sensor (I2C)
+// ---------------------------------------------------------------------------
+
+// I2CDevice is the bus-level contract the MCU drives: write a command,
+// optionally read back bytes.
+type I2CDevice interface {
+	// Transfer writes the command bytes, then reads readLen bytes.
+	Transfer(write []byte, readLen int) ([]byte, error)
+}
+
+// MS5837 command bytes (datasheet).
+const (
+	MS5837Reset     = 0x1E
+	MS5837ConvertD1 = 0x48 // pressure, OSR 8192
+	MS5837ConvertD2 = 0x58 // temperature, OSR 8192
+	MS5837ADCRead   = 0x00
+	MS5837PROMBase  = 0xA0 // PROM words at 0xA0 + 2·i
+)
+
+// MS5837 is the register-level sensor model. Calibration coefficients
+// C1–C6 are the datasheet's typical values; D1/D2 raw conversions are
+// synthesised from the ambient environment by inverting the first-order
+// compensation algorithm, so firmware running the real algorithm
+// recovers the environment.
+type MS5837 struct {
+	Env   Environment
+	prom  [8]uint16
+	armed byte // last conversion command
+	reset bool
+}
+
+// NewMS5837 returns a sensor exposed to env.
+func NewMS5837(env Environment) *MS5837 {
+	m := &MS5837{Env: env}
+	// Typical calibration values from the MS5837-30BA datasheet example.
+	m.prom = [8]uint16{0x0000, 34982, 36352, 20328, 22354, 26646, 26146, 0x0000}
+	return m
+}
+
+// rawD2 synthesises the temperature conversion for the environment.
+func (m *MS5837) rawD2() uint32 {
+	c5 := float64(m.prom[5])
+	c6 := float64(m.prom[6])
+	temp := m.Env.TemperatureC * 100 // centi-degrees
+	dT := (temp - 2000) * math.Exp2(23) / c6
+	return uint32(math.Round(dT + c5*math.Exp2(8)))
+}
+
+// Transfer implements I2CDevice.
+func (m *MS5837) Transfer(write []byte, readLen int) ([]byte, error) {
+	if len(write) == 0 {
+		return nil, fmt.Errorf("sensors: empty I2C write")
+	}
+	cmd := write[0]
+	switch {
+	case cmd == MS5837Reset:
+		m.reset = true
+		m.armed = 0
+		return nil, nil
+	case cmd == MS5837ConvertD1 || cmd == MS5837ConvertD2:
+		if !m.reset {
+			return nil, fmt.Errorf("sensors: MS5837 conversion before reset")
+		}
+		m.armed = cmd
+		return nil, nil
+	case cmd == MS5837ADCRead:
+		if m.armed == 0 {
+			return nil, fmt.Errorf("sensors: ADC read with no conversion armed")
+		}
+		var raw uint32
+		if m.armed == MS5837ConvertD1 {
+			raw = m.pressureRaw()
+		} else {
+			raw = m.rawD2()
+		}
+		m.armed = 0
+		if readLen != 3 {
+			return nil, fmt.Errorf("sensors: ADC read wants 3 bytes, got request for %d", readLen)
+		}
+		return []byte{byte(raw >> 16), byte(raw >> 8), byte(raw)}, nil
+	case cmd >= MS5837PROMBase && cmd <= MS5837PROMBase+14 && cmd%2 == 0:
+		if readLen != 2 {
+			return nil, fmt.Errorf("sensors: PROM read wants 2 bytes")
+		}
+		w := m.prom[(cmd-MS5837PROMBase)/2]
+		return []byte{byte(w >> 8), byte(w)}, nil
+	default:
+		return nil, fmt.Errorf("sensors: unknown MS5837 command 0x%02x", cmd)
+	}
+}
+
+// pressureRaw inverts the datasheet pressure equation for the current
+// environment.
+func (m *MS5837) pressureRaw() uint32 {
+	c1 := float64(m.prom[1])
+	c2 := float64(m.prom[2])
+	c3 := float64(m.prom[3])
+	c4 := float64(m.prom[4])
+	c5 := float64(m.prom[5])
+	d2 := float64(m.rawD2())
+	dT := d2 - c5*math.Exp2(8)
+	off := c2*math.Exp2(16) + c4*dT/math.Exp2(7)
+	sens := c1*math.Exp2(15) + c3*dT/math.Exp2(8)
+	p := m.Env.PressureBar * 1000 * 10 // target output, 0.1 mbar units
+	// P = (D1·SENS/2^21 − OFF)/2^13  ⇒  D1 = (P·2^13 + OFF)·2^21/SENS
+	return uint32(math.Round((p*math.Exp2(13) + off) * math.Exp2(21) / sens))
+}
+
+// MS5837Reading is the firmware-side result of the compensation
+// algorithm.
+type MS5837Reading struct {
+	TemperatureC float64
+	PressureMbar float64
+}
+
+// ReadMS5837 runs the full datasheet transaction and first-order
+// compensation against any I2CDevice — this is the firmware the paper's
+// MCU runs ("the sensor ... directly communicates with the MCU through
+// I2C", §5.1c).
+func ReadMS5837(dev I2CDevice) (MS5837Reading, error) {
+	if _, err := dev.Transfer([]byte{MS5837Reset}, 0); err != nil {
+		return MS5837Reading{}, fmt.Errorf("reset: %w", err)
+	}
+	var prom [8]uint16
+	for i := 0; i < 7; i++ {
+		b, err := dev.Transfer([]byte{byte(MS5837PROMBase + 2*i)}, 2)
+		if err != nil {
+			return MS5837Reading{}, fmt.Errorf("prom[%d]: %w", i, err)
+		}
+		prom[i] = uint16(b[0])<<8 | uint16(b[1])
+	}
+	readRaw := func(convert byte) (uint32, error) {
+		if _, err := dev.Transfer([]byte{convert}, 0); err != nil {
+			return 0, err
+		}
+		b, err := dev.Transfer([]byte{MS5837ADCRead}, 3)
+		if err != nil {
+			return 0, err
+		}
+		return uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2]), nil
+	}
+	d1, err := readRaw(MS5837ConvertD1)
+	if err != nil {
+		return MS5837Reading{}, fmt.Errorf("D1: %w", err)
+	}
+	d2, err := readRaw(MS5837ConvertD2)
+	if err != nil {
+		return MS5837Reading{}, fmt.Errorf("D2: %w", err)
+	}
+	// First-order compensation (datasheet).
+	dT := float64(d2) - float64(prom[5])*math.Exp2(8)
+	temp := 2000 + dT*float64(prom[6])/math.Exp2(23) // centi-°C
+	off := float64(prom[2])*math.Exp2(16) + float64(prom[4])*dT/math.Exp2(7)
+	sens := float64(prom[1])*math.Exp2(15) + float64(prom[3])*dT/math.Exp2(8)
+	p := (float64(d1)*sens/math.Exp2(21) - off) / math.Exp2(13) // 0.1 mbar
+	return MS5837Reading{
+		TemperatureC: temp / 100,
+		PressureMbar: p / 10,
+	}, nil
+}

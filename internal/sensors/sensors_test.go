@@ -1,0 +1,166 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPHProbeNernst(t *testing.T) {
+	p := NewPHProbe()
+	env := Environment{PH: 7, TemperatureC: 25}
+	if v := p.Voltage(env); math.Abs(v) > 1e-12 {
+		t.Errorf("pH 7 should give 0 V, got %g", v)
+	}
+	// One pH unit below 7 → +59.16 mV at 25 °C.
+	env.PH = 6
+	if v := p.Voltage(env); math.Abs(v-0.05916) > 1e-6 {
+		t.Errorf("pH 6: %g V, want 0.05916", v)
+	}
+	// Slope grows with temperature.
+	hot := Environment{PH: 6, TemperatureC: 50}
+	if p.Voltage(hot) <= p.Voltage(env) {
+		t.Error("hotter electrode should have steeper slope")
+	}
+}
+
+func TestADCQuantisation(t *testing.T) {
+	adc := MSP430ADC()
+	if c := adc.Sample(0); c != 0 {
+		t.Errorf("Sample(0) = %d", c)
+	}
+	if c := adc.Sample(1.8); c != 1023 {
+		t.Errorf("Sample(1.8) = %d, want 1023", c)
+	}
+	if c := adc.Sample(-1); c != 0 {
+		t.Errorf("negative input should clamp to 0, got %d", c)
+	}
+	if c := adc.Sample(5); c != 1023 {
+		t.Errorf("over-range input should clamp to 1023, got %d", c)
+	}
+	if v := adc.VoltageOf(512); math.Abs(v-0.9009) > 0.001 {
+		t.Errorf("VoltageOf(512) = %g", v)
+	}
+}
+
+func TestADCRoundTripWithinLSB(t *testing.T) {
+	adc := MSP430ADC()
+	lsb := adc.Vref / 1023
+	f := func(raw uint16) bool {
+		v := float64(raw%1800) / 1000 // 0–1.799 V
+		back := adc.VoltageOf(adc.Sample(v))
+		return math.Abs(back-v) <= lsb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPHEndToEnd(t *testing.T) {
+	// The paper's demo: "We verified that the MCU computes the correct
+	// pH (of 7)". Full chain: probe → AFE → ADC → firmware conversion.
+	probe := NewPHProbe()
+	afe := PaperAFE()
+	adc := MSP430ADC()
+	for _, ph := range []float64{4.0, 5.5, 7.0, 8.2, 10.0} {
+		env := Environment{PH: ph, TemperatureC: 22}
+		code := adc.Sample(afe.Condition(probe.Voltage(env)))
+		got := PHFromCode(code, adc, afe, probe, 22)
+		if math.Abs(got-ph) > 0.05 {
+			t.Errorf("pH %g decoded as %g", ph, got)
+		}
+	}
+}
+
+func TestPHTemperatureCompensationError(t *testing.T) {
+	// Firmware assuming the wrong temperature misreads acidic/basic
+	// water slightly — but is exact at pH 7 where the electrode is at
+	// its isopotential point.
+	probe := NewPHProbe()
+	afe := PaperAFE()
+	adc := MSP430ADC()
+	env := Environment{PH: 7, TemperatureC: 5}
+	code := adc.Sample(afe.Condition(probe.Voltage(env)))
+	if got := PHFromCode(code, adc, afe, probe, 25); math.Abs(got-7) > 0.05 {
+		t.Errorf("pH 7 should survive temperature mismatch, got %g", got)
+	}
+}
+
+func TestMS5837ReadsEnvironment(t *testing.T) {
+	env := RoomTank()
+	dev := NewMS5837(env)
+	r, err := ReadMS5837(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.TemperatureC-env.TemperatureC) > 0.05 {
+		t.Errorf("temperature %g, want %g", r.TemperatureC, env.TemperatureC)
+	}
+	if math.Abs(r.PressureMbar-env.PressureBar*1000) > 2 {
+		t.Errorf("pressure %g mbar, want %g", r.PressureMbar, env.PressureBar*1000)
+	}
+}
+
+func TestMS5837AcrossConditions(t *testing.T) {
+	cases := []Environment{
+		{TemperatureC: 2, PressureBar: 1.0},
+		{TemperatureC: 22, PressureBar: 1.013},
+		{TemperatureC: 30, PressureBar: 2.5},  // ~15 m depth
+		{TemperatureC: 10, PressureBar: 11.0}, // ~100 m depth
+	}
+	for _, env := range cases {
+		r, err := ReadMS5837(NewMS5837(env))
+		if err != nil {
+			t.Fatalf("%+v: %v", env, err)
+		}
+		if math.Abs(r.TemperatureC-env.TemperatureC) > 0.05 {
+			t.Errorf("%+v: temperature %g", env, r.TemperatureC)
+		}
+		if math.Abs(r.PressureMbar-env.PressureBar*1000) > 3 {
+			t.Errorf("%+v: pressure %g", env, r.PressureMbar)
+		}
+	}
+}
+
+func TestMS5837Protocol(t *testing.T) {
+	dev := NewMS5837(RoomTank())
+	// Conversion before reset is a protocol violation.
+	if _, err := dev.Transfer([]byte{MS5837ConvertD1}, 0); err == nil {
+		t.Error("conversion before reset should error")
+	}
+	if _, err := dev.Transfer([]byte{MS5837Reset}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// ADC read without armed conversion.
+	if _, err := dev.Transfer([]byte{MS5837ADCRead}, 3); err == nil {
+		t.Error("ADC read without conversion should error")
+	}
+	// Wrong read lengths.
+	if _, err := dev.Transfer([]byte{MS5837ConvertD1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Transfer([]byte{MS5837ADCRead}, 2); err == nil {
+		t.Error("short ADC read should error")
+	}
+	if _, err := dev.Transfer([]byte{MS5837PROMBase}, 3); err == nil {
+		t.Error("wrong PROM read length should error")
+	}
+	// Unknown command.
+	if _, err := dev.Transfer([]byte{0x77}, 0); err == nil {
+		t.Error("unknown command should error")
+	}
+	// Empty write.
+	if _, err := dev.Transfer(nil, 0); err == nil {
+		t.Error("empty write should error")
+	}
+	// A conversion is consumed by its read.
+	if _, err := dev.Transfer([]byte{MS5837ConvertD2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Transfer([]byte{MS5837ADCRead}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Transfer([]byte{MS5837ADCRead}, 3); err == nil {
+		t.Error("second ADC read without new conversion should error")
+	}
+}
