@@ -5,6 +5,10 @@
 //
 //	pabwave  -kind exchange -o rec.wav     # simulate and save a capture
 //	pabdecode -i rec.wav -bitrate 500      # find the carrier and decode it
+//
+// Like the other pab binaries it accepts -telemetry out.json (JSON
+// snapshot of decoder metrics and decode reports on exit) and
+// -debug-addr :6060 (live /metrics and /debug/pprof).
 package main
 
 import (
@@ -13,24 +17,35 @@ import (
 	"os"
 
 	"pab/internal/audio"
+	"pab/internal/cli"
 	"pab/internal/core"
 	"pab/internal/node"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	in := flag.String("i", "", "input WAV (16-bit mono)")
 	bitrate := flag.Float64("bitrate", 500, "backscatter bitrate (bit/s)")
 	carrier := flag.Float64("carrier", 0, "carrier Hz (0 = detect via FFT)")
 	gate := flag.Int("gate", 0, "decode only after this sample (reader's query end)")
+	var tf cli.TelemetryFlags
+	tf.Register()
 	flag.Parse()
-	if *in == "" {
-		flag.Usage()
-		os.Exit(2)
+	if *in == "" || flag.NArg() > 0 || *bitrate <= 0 || *carrier < 0 || *gate < 0 {
+		return cli.Usage()
 	}
+	if code := tf.Start("pabdecode"); code != cli.ExitOK {
+		return code
+	}
+	code := cli.ExitOK
 	if err := run(*in, *bitrate, *carrier, *gate); err != nil {
 		fmt.Fprintf(os.Stderr, "pabdecode: %v\n", err)
-		os.Exit(1)
+		code = cli.ExitRuntime
 	}
+	return tf.Finish("pabdecode", code)
 }
 
 func run(path string, bitrate, carrier float64, gate int) error {

@@ -7,6 +7,14 @@
 //	pabsim -experiment fig3 -plot    # the same figure as an ASCII chart
 //	pabsim -experiment all           # every figure, with banners
 //	pabsim -list                     # available experiment ids
+//	pabsim -telemetry out.json       # smoke exchange + telemetry snapshot
+//
+// Every invocation accepts -telemetry out.json (JSON snapshot of the
+// stage-timing spans, layer counters and decode reports accumulated
+// during the run) and -debug-addr :6060 (live /metrics, /telemetry.json
+// and /debug/pprof). With -telemetry alone, pabsim runs a short smoke
+// exchange — power-up, ARQ sensor poll, slotted-ALOHA inventory — so
+// the snapshot exercises the full signal path.
 package main
 
 import (
@@ -14,17 +22,39 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
+
+	"pab/internal/cli"
+	"pab/internal/core"
 	"pab/internal/experiments"
+	"pab/internal/frame"
+	"pab/internal/mac"
 	"pab/internal/plot"
+	"pab/internal/sensors"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	exp := flag.String("experiment", "", "experiment id (see -list), or 'all'")
 	list := flag.Bool("list", false, "list available experiments")
 	doPlot := flag.Bool("plot", false, "render an ASCII chart instead of TSV")
+	var tf cli.TelemetryFlags
+	tf.Register()
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "pabsim: unexpected arguments: %v\n", flag.Args())
+		return cli.Usage()
+	}
+	if code := tf.Start("pabsim"); code != cli.ExitOK {
+		return code
+	}
+
+	code := cli.ExitOK
 	switch {
 	case *list:
 		for _, name := range experiments.Names() {
@@ -37,19 +67,79 @@ func main() {
 			fmt.Printf("## %s — %s\n", name, desc)
 			if err := run(name, *doPlot); err != nil {
 				fmt.Fprintf(os.Stderr, "pabsim: %s: %v\n", name, err)
-				os.Exit(1)
+				code = cli.ExitRuntime
+				break
 			}
 			fmt.Println()
 		}
 	case *exp != "":
 		if err := run(*exp, *doPlot); err != nil {
 			fmt.Fprintf(os.Stderr, "pabsim: %v\n", err)
-			os.Exit(1)
+			code = cli.ExitRuntime
+		}
+	case tf.SnapshotPath != "" || tf.DebugAddr != "":
+		// Telemetry-only invocation: exercise the full signal path so
+		// the snapshot carries stage spans, MAC counters and decode
+		// reports.
+		if err := smokeExchange(); err != nil {
+			fmt.Fprintf(os.Stderr, "pabsim: smoke exchange: %v\n", err)
+			code = cli.ExitRuntime
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		return cli.Usage()
 	}
+	return tf.Finish("pabsim", code)
+}
+
+// smokeExchange runs one end-to-end interrogation cycle plus the MAC
+// machinery: node power-up, an ARQ-polled sensor read over the default
+// single-node link, and a slotted-ALOHA inventory round.
+func smokeExchange() error {
+	cfg := core.DefaultLinkConfig()
+	n, err := core.NewPaperNode(0x01, 500, sensors.RoomTank())
+	if err != nil {
+		return err
+	}
+	proj, err := core.NewPaperProjector(cfg.SampleRate)
+	if err != nil {
+		return err
+	}
+	link, err := core.NewLink(cfg, n, proj)
+	if err != nil {
+		return err
+	}
+	if err := link.EnsurePowered(120); err != nil {
+		return err
+	}
+	poller, err := mac.NewPoller(linkTransport{link}, 2)
+	if err != nil {
+		return err
+	}
+	df, err := poller.ReadSensor(0x01, frame.SensorPH)
+	if err != nil {
+		return err
+	}
+	inv, err := mac.Inventory([]byte{0x11, 0x12, 0x13, 0x14}, mac.DefaultInventoryConfig(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		return err
+	}
+	stats := poller.Stats()
+	fmt.Printf("smoke exchange: sensor frame from %#02x (seq %d), %d queries, %.2f s airtime\n",
+		df.Source, df.Seq, stats.Queries, stats.Airtime)
+	fmt.Printf("inventory: %d nodes in %d rounds (%d slots, efficiency %.2f)\n",
+		len(inv.Identified), inv.Rounds, inv.Slots, inv.Efficiency())
+	return nil
+}
+
+// linkTransport adapts a core.Link to the MAC polling interface.
+type linkTransport struct{ l *core.Link }
+
+func (t linkTransport) Exchange(q frame.Query) (mac.Exchange, error) {
+	reply, airtime, snr, err := t.l.Exchange(q)
+	if err != nil {
+		return mac.Exchange{}, err
+	}
+	return mac.Exchange{Reply: reply, AirtimeSeconds: airtime, SNRLinear: snr}, nil
 }
 
 // run executes one experiment, optionally rendering its TSV as a chart.

@@ -6,6 +6,10 @@
 //	pabwave -kind query   -o query.wav      # a PWM downlink query
 //	pabwave -kind exchange -o exchange.wav  # full hydrophone recording
 //	pabwave -kind trace   -o trace.wav      # the Fig 2 CW + toggling trace
+//
+// Like the other pab binaries it accepts -telemetry out.json (JSON
+// snapshot of the exchange's stage spans and metrics on exit) and
+// -debug-addr :6060 (live /metrics and /debug/pprof).
 package main
 
 import (
@@ -14,34 +18,59 @@ import (
 	"os"
 
 	"pab/internal/audio"
+	"pab/internal/cli"
 	"pab/internal/core"
 	"pab/internal/frame"
 	"pab/internal/sensors"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	kind := flag.String("kind", "exchange", "waveform: query | exchange | trace")
 	out := flag.String("o", "pab.wav", "output WAV path")
 	bitrate := flag.Float64("bitrate", 500, "backscatter bitrate (bit/s)")
+	var tf cli.TelemetryFlags
+	tf.Register()
 	flag.Parse()
-
-	samples, fs, err := generate(*kind, *bitrate)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pabwave: %v\n", err)
-		os.Exit(1)
+	switch *kind {
+	case "query", "exchange", "trace":
+	default:
+		fmt.Fprintf(os.Stderr, "pabwave: unknown kind %q (query | exchange | trace)\n", *kind)
+		return cli.Usage()
 	}
-	f, err := os.Create(*out)
-	if err != nil {
+	if *out == "" || flag.NArg() > 0 || *bitrate <= 0 {
+		return cli.Usage()
+	}
+	if code := tf.Start("pabwave"); code != cli.ExitOK {
+		return code
+	}
+	code := cli.ExitOK
+	if err := run(*kind, *out, *bitrate); err != nil {
 		fmt.Fprintf(os.Stderr, "pabwave: %v\n", err)
-		os.Exit(1)
+		code = cli.ExitRuntime
+	}
+	return tf.Finish("pabwave", code)
+}
+
+func run(kind, out string, bitrate float64) error {
+	samples, fs, err := generate(kind, bitrate)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
 	}
 	defer f.Close()
 	if err := audio.WriteWAV(f, int(fs), samples, true); err != nil {
-		fmt.Fprintf(os.Stderr, "pabwave: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("wrote %s: %d samples at %.0f Hz (%.2f s)\n",
-		*out, len(samples), fs, float64(len(samples))/fs)
+		out, len(samples), fs, float64(len(samples))/fs)
+	return nil
 }
 
 func generate(kind string, bitrate float64) ([]float64, float64, error) {

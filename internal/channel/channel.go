@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"pab/internal/acoustics"
+	"pab/internal/telemetry"
 	"pab/internal/units"
 )
 
@@ -172,6 +173,7 @@ func (t Tank) Response(src, dst Vec3, fs float64, opt Options) (*ImpulseResponse
 	floor := math.Abs(directGain) * minGain
 
 	var taps []Tap
+	images := 0
 	n := opt.MaxOrder
 	for nx := -n; nx <= n; nx++ {
 		for ny := -n; ny <= n; ny++ {
@@ -188,6 +190,7 @@ func (t Tank) Response(src, dst Vec3, fs float64, opt Options) (*ImpulseResponse
 							if int(bounces) > opt.MaxOrder {
 								continue
 							}
+							images++
 							img := Vec3{
 								X: float64(1-2*u)*src.X + 2*float64(nx)*t.LX,
 								Y: float64(1-2*v)*src.Y + 2*float64(ny)*t.LY,
@@ -223,7 +226,12 @@ func (t Tank) Response(src, dst Vec3, fs float64, opt Options) (*ImpulseResponse
 		}
 	}
 	sort.Slice(taps, func(i, j int) bool { return taps[i].DelaySeconds < taps[j].DelaySeconds })
-	return &ImpulseResponse{Taps: taps, SampleRate: fs}, nil
+	ir := &ImpulseResponse{Taps: taps, SampleRate: fs}
+	telemetry.Inc("channel_responses_total")
+	telemetry.ObserveN("channel_ir_taps", telemetry.DefCountBuckets, float64(len(taps)))
+	telemetry.ObserveN("channel_ir_images_considered", telemetry.DefCountBuckets, float64(images))
+	telemetry.Observe("channel_ir_max_delay_seconds", ir.MaxDelay())
+	return ir, nil
 }
 
 // pathGain returns the signed amplitude gain of a path of length r at

@@ -1,0 +1,76 @@
+// Package cli carries the observability plumbing shared by the cmd/
+// binaries: the -telemetry and -debug-addr flags, and the usage/exit
+// conventions (usage to stderr, exit 2 on bad flags, exit 1 on runtime
+// failure).
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pab/internal/telemetry"
+)
+
+// Exit codes shared by all pab binaries.
+const (
+	ExitOK      = 0 // success
+	ExitRuntime = 1 // the requested operation failed
+	ExitUsage   = 2 // bad flags or arguments (usage printed to stderr)
+)
+
+// TelemetryFlags registers the shared observability flags.
+type TelemetryFlags struct {
+	// SnapshotPath, when non-empty, receives a JSON telemetry snapshot
+	// as the command exits (-telemetry out.json).
+	SnapshotPath string
+	// DebugAddr, when non-empty, serves /metrics, /telemetry.json and
+	// /debug/pprof for the lifetime of the process (-debug-addr :6060).
+	DebugAddr string
+}
+
+// Register installs -telemetry and -debug-addr on the default flag set.
+func (t *TelemetryFlags) Register() {
+	flag.StringVar(&t.SnapshotPath, "telemetry", "",
+		"write a JSON telemetry snapshot (metrics, stage spans, decode reports) to this path on exit")
+	flag.StringVar(&t.DebugAddr, "debug-addr", "",
+		"serve /metrics, /telemetry.json and /debug/pprof on this address (e.g. :6060)")
+}
+
+// Start brings up the debug server when one was requested. Call it
+// right after flag.Parse.
+func (t *TelemetryFlags) Start(prog string) int {
+	if t.DebugAddr == "" {
+		return ExitOK
+	}
+	if err := telemetry.StartDebugServer(t.DebugAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+		return ExitRuntime
+	}
+	return ExitOK
+}
+
+// Finish writes the snapshot file when one was requested. It runs even
+// when the command's work failed — a partial snapshot is exactly what
+// post-mortem debugging wants — and escalates the exit code on write
+// failure.
+func (t *TelemetryFlags) Finish(prog string, code int) int {
+	if t.SnapshotPath == "" {
+		return code
+	}
+	if err := telemetry.WriteSnapshotFile(t.SnapshotPath); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+		if code == ExitOK {
+			return ExitRuntime
+		}
+	}
+	return code
+}
+
+// Usage prints the flag defaults to stderr and returns ExitUsage —
+// the shared bad-invocation path.
+func Usage() int {
+	flag.CommandLine.SetOutput(os.Stderr)
+	flag.Usage()
+	return ExitUsage
+}

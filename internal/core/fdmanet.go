@@ -8,6 +8,7 @@ import (
 	"pab/internal/mac"
 	"pab/internal/node"
 	"pab/internal/sensors"
+	"pab/internal/telemetry"
 )
 
 // FDMANode describes one sensor node of a polled network.
@@ -133,6 +134,7 @@ func NewFDMANetwork(cfg FDMANetworkConfig, maxRetries int) (*FDMANetwork, error)
 	if err != nil {
 		return nil, err
 	}
+	telemetry.Set("core_fdma_channels", float64(len(plan)))
 	return &FDMANetwork{cfg: cfg, plan: plan, links: links, net: net}, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"pab/internal/phy"
 	"pab/internal/piezo"
 	"pab/internal/projector"
+	"pab/internal/telemetry"
 )
 
 // LinkConfig describes a single projector–node–hydrophone deployment in
@@ -215,6 +216,10 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 	if l.node.State() == node.Off {
 		return nil, fmt.Errorf("core: node is not powered; call PowerUp first")
 	}
+	sp := telemetry.StartSpan("exchange").
+		Attr("dest", int(q.Dest)).Attr("command", int(q.Command))
+	defer sp.End()
+	telemetry.Inc("core_link_queries_total")
 	res := &ExchangeResult{Sent: q, UplinkBER: 1}
 
 	// Uplink budget: preamble + the largest expected frame at the
@@ -225,29 +230,40 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 	tail := uplinkSeconds + 2*processingMargin
 
 	// 1. Downlink waveform.
+	spStage := sp.Child("modulate")
 	x, err := l.proj.Query(q, l.cfg.DriveV, l.cfg.CarrierHz, l.cfg.PWMUnit, tail)
+	spStage.Attr("samples", len(x)).End()
 	if err != nil {
 		return nil, err
 	}
 	queryEndX := len(x) - int(tail*l.cfg.SampleRate) // end of PWM section
 
 	// 2. Field at the node.
+	spStage = sp.Child("project")
 	pNode := l.irPN.Apply(x)
+	spStage.End()
 
 	// 3. Node-side envelope decode of the query.
+	spStage = sp.Child("piezo")
 	unitRate := l.cfg.SampleRate / float64(l.cfg.PWMUnit)
 	envCut := math.Min(2*unitRate, l.cfg.SampleRate/4)
 	nodeEnv, err := dsp.AmplitudeEnvelope(pNode[:min(queryEndX+int(0.01*l.cfg.SampleRate), len(pNode))], l.cfg.SampleRate, envCut, 4)
 	if err != nil {
+		spStage.End()
 		return nil, err
 	}
 	decodedQ, err := l.node.DecodeDownlink(nodeEnv, l.cfg.PWMUnit)
 	if err == nil && decodedQ == q {
 		res.NodeDecodedQuery = true
+		telemetry.Inc("core_downlink_decodes_total")
+	} else {
+		telemetry.Inc("core_downlink_decode_failures_total")
 	}
 
 	// 4. Node power bookkeeping over the exchange.
+	spRect := sp.Child("rectify")
 	l.trackHarvest(pNode, len(x))
+	spRect.Attr("cap_voltage", l.node.CapVoltage()).End()
 
 	// The reflection coefficient is complex (magnitude and phase); apply
 	// it to the narrowband field via the analytic signal.
@@ -291,11 +307,14 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 			}
 			l.node.FinishBackscatter()
 		} else if err != nil {
+			spStage.End()
 			return nil, err
 		}
 	}
+	spStage.End() // piezo
 
 	// 5. Hydrophone field: direct downlink + node reflections + noise.
+	spStage = sp.Child("channel")
 	direct := l.irPH.Apply(x)
 	if l.cfg.NodeRadialSpeedMS != 0 {
 		reflected = dopplerScale(reflected, l.cfg.NodeRadialSpeedMS, l.cfg.Tank.Water.SoundSpeed())
@@ -310,13 +329,14 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 		noise = 0.05
 	}
 	channel.AddWhiteNoise(y, noise, l.rng)
+	spStage.Attr("samples", n).End()
 	res.Recording = y
 	res.CapVoltage = l.node.CapVoltage()
 
 	// 6. Offline decode, gated past the reader's own downlink keying.
 	if res.UplinkBits != nil {
 		gate := queryEndX + int(0.01*l.cfg.SampleRate)
-		dec, err := l.recv.DecodeUplink(y, l.cfg.CarrierHz, l.node.Bitrate(), gate)
+		dec, err := l.recv.DecodeUplinkTraced(sp, y, l.cfg.CarrierHz, l.node.Bitrate(), gate)
 		if err == nil {
 			res.Decoded = dec
 			res.UplinkBER = phy.BER(res.UplinkBits[len(phy.PreambleBits):], dec.Bits)
@@ -328,9 +348,13 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 				res.UplinkBER = ber
 			}
 		}
+		telemetry.ObserveN("core_uplink_ber", berBuckets, res.UplinkBER)
 	}
 	return res, nil
 }
+
+// berBuckets resolve the raw uplink bit-error-rate range.
+var berBuckets = []float64{0, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.5}
 
 // trackHarvest advances the node's power domain over the duration of a
 // sample-level exchange using 10 ms envelope blocks.

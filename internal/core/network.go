@@ -13,6 +13,7 @@ import (
 	"pab/internal/phy"
 	"pab/internal/piezo"
 	"pab/internal/projector"
+	"pab/internal/telemetry"
 )
 
 // ConcurrentConfig describes the two-node FDMA experiment of §6.3: one
@@ -108,6 +109,10 @@ func RunConcurrent(cfg ConcurrentConfig, nodes [2]*node.Node, proj *projector.Pr
 	if cfg.ChannelOrder == 0 {
 		cfg.ChannelOrder = 2
 	}
+	sp := telemetry.StartSpan("concurrent_exchange").
+		Attr("carrier0_hz", cfg.Carriers[0]).Attr("carrier1_hz", cfg.Carriers[1])
+	defer sp.End()
+	telemetry.Inc("core_concurrent_runs_total")
 	fs := cfg.SampleRate
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -285,6 +290,7 @@ func RunConcurrent(cfg ConcurrentConfig, nodes [2]*node.Node, proj *projector.Pr
 		return nil, err
 	}
 	res.Condition = h.ConditionNumber()
+	telemetry.Observe("core_concurrent_condition", res.Condition)
 
 	// Payload section.
 	payStart0 := settle + 2*trainLen + delay(0)

@@ -15,6 +15,7 @@ import (
 	"pab/internal/frame"
 	"pab/internal/hydrophone"
 	"pab/internal/phy"
+	"pab/internal/telemetry"
 )
 
 // Receiver is the hydrophone-side offline decoder (paper §5.1b): FFT
@@ -178,6 +179,9 @@ type Decoded struct {
 	Sync phy.Sync
 	// CFOHz is the estimated carrier frequency offset.
 	CFOHz float64
+	// PreambleBitErrors counts re-decoded preamble bits that disagree
+	// with the known pattern at the accepted lock (0 on a clean lock).
+	PreambleBitErrors int
 }
 
 // SNRdB returns the SNR in decibels.
@@ -198,18 +202,54 @@ func (d *Decoded) SNRdB() float64 {
 // when its PWM keying ended, and the huge downlink amplitude swings
 // would otherwise dominate the modulation-axis estimate.
 func (r *Receiver) DecodeUplink(pressure []float64, carrier, bitrate float64, searchFrom int) (*Decoded, error) {
+	return r.DecodeUplinkTraced(nil, pressure, carrier, bitrate, searchFrom)
+}
+
+// DecodeUplinkTraced is DecodeUplink with an optional parent telemetry
+// span: the demod → sync → decode stages become child spans, and every
+// attempt — successful or not — files a telemetry.DecodeReport.
+func (r *Receiver) DecodeUplinkTraced(parent *telemetry.Span, pressure []float64, carrier, bitrate float64, searchFrom int) (*Decoded, error) {
+	dec, err := r.decodeUplinkStaged(parent, pressure, carrier, bitrate, searchFrom)
+	rep := telemetry.DecodeReport{CarrierHz: carrier, BitrateBps: bitrate}
+	if err != nil {
+		telemetry.Inc("core_uplink_decode_failures_total")
+		rep.Error = err.Error()
+		telemetry.RecordDecode(rep)
+		return nil, err
+	}
+	telemetry.Inc("core_uplink_decodes_total")
+	telemetry.ObserveN("core_uplink_snr_db", snrDBBuckets, dec.SNRdB())
+	rep.Decoded = true
+	rep.SlicerSNRdB = dec.SNRdB()
+	rep.SyncPeak = dec.Sync.Score
+	rep.SyncIndex = dec.Sync.Index
+	rep.CFOHz = dec.CFOHz
+	rep.PreambleBitErrors = dec.PreambleBitErrors
+	rep.PayloadBits = len(dec.Bits)
+	telemetry.RecordDecode(rep)
+	return dec, nil
+}
+
+// snrDBBuckets cover the paper's operating range (Fig 7: ~3–20 dB).
+var snrDBBuckets = []float64{-10, -5, 0, 2, 5, 8, 11, 15, 20, 25, 30}
+
+func (r *Receiver) decodeUplinkStaged(parent *telemetry.Span, pressure []float64, carrier, bitrate float64, searchFrom int) (*Decoded, error) {
+	spDemod := parent.Child("demod")
 	volts, err := r.Hydro.Record(pressure)
 	if err != nil {
+		spDemod.End()
 		return nil, err
 	}
 	bb, err := r.Demodulate(volts, carrier, bitrate)
 	if err != nil {
+		spDemod.End()
 		return nil, err
 	}
 	if searchFrom < 0 {
 		searchFrom = 0
 	}
 	if searchFrom >= len(bb) {
+		spDemod.End()
 		return nil, fmt.Errorf("core: search start %d beyond recording %d", searchFrom, len(bb))
 	}
 	bb = bb[searchFrom:]
@@ -218,6 +258,7 @@ func (r *Receiver) DecodeUplink(pressure []float64, carrier, bitrate float64, se
 	// the correction is only kept when it measurably concentrates the
 	// carrier.
 	bb, cfo := r.correctCFOIfReal(bb)
+	spDemod.Attr("samples", len(bb)).Attr("cfo_hz", cfo).End()
 	spb, err := phy.SamplesPerBitFor(r.SampleRate, bitrate)
 	if err != nil {
 		return nil, err
@@ -226,11 +267,16 @@ func (r *Receiver) DecodeUplink(pressure []float64, carrier, bitrate float64, se
 	if err != nil {
 		return nil, err
 	}
+	spSync := parent.Child("sync")
 	cands, err := r.detectRefinedAll(bb, fm0)
 	if err != nil {
+		spSync.End()
 		return nil, err
 	}
+	spSync.Attr("candidates", len(cands)).End()
 
+	spDecode := parent.Child("decode")
+	defer spDecode.End()
 	// Try candidates in score order; the CRC arbitrates which lock is
 	// the real packet (payload structure can out-correlate the preamble
 	// under heavy ISI).
@@ -331,11 +377,23 @@ func (r *Receiver) decodeAt(bb []complex128, env []float64, sync phy.Sync, fm0 *
 		}
 	}
 
+	// Re-decode the preamble region against the known pattern — a
+	// per-packet lock-quality diagnostic (bit errors inside the preamble
+	// mean the correlator locked on a degraded or offset template).
+	preErrs := 0
+	preBits, _ := fm0.DecodeFrom(env[sync.Index:], len(phy.PreambleBits), sync.StartLevel)
+	for i, b := range preBits {
+		if b != phy.PreambleBits[i] {
+			preErrs++
+		}
+	}
+
 	return &Decoded{
-		Frame:     df,
-		Bits:      bits,
-		SNRLinear: snr,
-		Sync:      sync,
+		Frame:             df,
+		Bits:              bits,
+		SNRLinear:         snr,
+		Sync:              sync,
+		PreambleBitErrors: preErrs,
 	}, nil
 }
 

@@ -1,0 +1,123 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowSymmetry(t *testing.T) {
+	for _, w := range []Window{Rectangular, Hann, Hamming, Blackman} {
+		for _, n := range []int{2, 3, 16, 17, 64} {
+			c := w.Coefficients(n)
+			if len(c) != n {
+				t.Fatalf("%v: length %d, want %d", w, len(c), n)
+			}
+			for i := 0; i < n/2; i++ {
+				if math.Abs(c[i]-c[n-1-i]) > 1e-12 {
+					t.Errorf("%v n=%d: c[%d]=%g != c[%d]=%g", w, n, i, c[i], n-1-i, c[n-1-i])
+				}
+			}
+		}
+	}
+}
+
+func TestWindowEndpointValues(t *testing.T) {
+	const n = 33
+	cases := []struct {
+		w        Window
+		endpoint float64
+	}{
+		{Rectangular, 1},
+		{Hann, 0},
+		{Hamming, 0.08}, // 0.54 - 0.46
+		{Blackman, 0},   // 0.42 - 0.5 + 0.08
+	}
+	for _, tc := range cases {
+		c := tc.w.Coefficients(n)
+		if math.Abs(c[0]-tc.endpoint) > 1e-12 {
+			t.Errorf("%v: c[0] = %g, want %g", tc.w, c[0], tc.endpoint)
+		}
+		if math.Abs(c[n-1]-tc.endpoint) > 1e-12 {
+			t.Errorf("%v: c[n-1] = %g, want %g", tc.w, c[n-1], tc.endpoint)
+		}
+	}
+}
+
+func TestWindowCentreIsMaximum(t *testing.T) {
+	// Odd length puts the exact centre sample at the window maximum.
+	const n = 65
+	peaks := map[Window]float64{Rectangular: 1, Hann: 1, Hamming: 1, Blackman: 1}
+	for w, want := range peaks {
+		c := w.Coefficients(n)
+		mid := c[n/2]
+		if math.Abs(mid-want) > 1e-12 {
+			t.Errorf("%v: centre coefficient %g, want %g", w, mid, want)
+		}
+		for i, v := range c {
+			if v > mid+1e-12 {
+				t.Errorf("%v: c[%d]=%g exceeds centre %g", w, i, v, mid)
+			}
+		}
+	}
+}
+
+func TestWindowCoherentGain(t *testing.T) {
+	// Coherent gain (mean coefficient) approaches the textbook values as
+	// n grows: rectangular 1, Hann 0.5, Hamming 0.54, Blackman 0.42.
+	const n = 4096
+	cases := []struct {
+		w    Window
+		gain float64
+	}{
+		{Rectangular, 1},
+		{Hann, 0.5},
+		{Hamming, 0.54},
+		{Blackman, 0.42},
+	}
+	for _, tc := range cases {
+		if g := Mean(tc.w.Coefficients(n)); math.Abs(g-tc.gain) > 1e-3 {
+			t.Errorf("%v: coherent gain %g, want %g", tc.w, g, tc.gain)
+		}
+	}
+}
+
+func TestWindowSingleCoefficientIsUnity(t *testing.T) {
+	for _, w := range []Window{Rectangular, Hann, Hamming, Blackman} {
+		c := w.Coefficients(1)
+		if len(c) != 1 || c[0] != 1 {
+			t.Errorf("%v: Coefficients(1) = %v, want [1]", w, c)
+		}
+	}
+}
+
+func TestWindowApply(t *testing.T) {
+	x := []float64{2, 2, 2, 2, 2}
+	got := Hann.Apply(x)
+	want := Hann.Coefficients(len(x))
+	for i := range got {
+		if math.Abs(got[i]-2*want[i]) > 1e-12 {
+			t.Errorf("Apply[%d] = %g, want %g", i, got[i], 2*want[i])
+		}
+	}
+	// Input must be untouched.
+	for i, v := range x {
+		if v != 2 {
+			t.Errorf("Apply modified input at %d: %g", i, v)
+		}
+	}
+}
+
+func TestWindowString(t *testing.T) {
+	names := map[Window]string{
+		Rectangular: "rectangular",
+		Hann:        "hann",
+		Hamming:     "hamming",
+		Blackman:    "blackman",
+		Window(99):  "unknown",
+	}
+	for w, want := range names {
+		if got := w.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(w), got, want)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"pab/internal/telemetry"
 )
 
 // Inventory implements reader-driven framed slotted ALOHA with the EPC
@@ -80,7 +82,10 @@ func Inventory(nodes []byte, cfg InventoryConfig, rng *rand.Rand) (InventoryResu
 	qfp := float64(cfg.InitialQ)
 
 	for round := 0; round < cfg.MaxRounds && len(pending) > 0; round++ {
+		sp := telemetry.StartSpan("mac_inventory_round").
+			Attr("round", res.Rounds).Attr("pending", len(pending))
 		res.Rounds++
+		telemetry.Inc("mac_inventory_rounds_total")
 		q := int(math.Round(qfp))
 		if q < cfg.MinQ {
 			q = cfg.MinQ
@@ -88,8 +93,10 @@ func Inventory(nodes []byte, cfg InventoryConfig, rng *rand.Rand) (InventoryResu
 		if q > cfg.MaxQ {
 			q = cfg.MaxQ
 		}
+		telemetry.Set("mac_inventory_q", float64(q))
 		slots := 1 << uint(q)
 		res.Slots += slots
+		telemetry.Add("mac_inventory_slots_total", int64(slots))
 
 		// Nodes choose slots.
 		choice := make(map[int][]byte, len(pending))
@@ -102,19 +109,24 @@ func Inventory(nodes []byte, cfg InventoryConfig, rng *rand.Rand) (InventoryResu
 		identifiedThisRound := make(map[byte]bool)
 		for s := 0; s < slots; s++ {
 			occupants := choice[s]
+			telemetry.ObserveN("mac_inventory_slot_occupancy", telemetry.DefCountBuckets, float64(len(occupants)))
 			switch len(occupants) {
 			case 0:
 				res.Empties++
+				telemetry.Inc("mac_inventory_empty_slots_total")
 				qfp = math.Max(float64(cfg.MinQ), qfp-cfg.C)
 			case 1:
 				res.Singletons++
+				telemetry.Inc("mac_inventory_singletons_total")
 				res.Identified = append(res.Identified, occupants[0])
 				identifiedThisRound[occupants[0]] = true
 			default:
 				res.Collisions++
+				telemetry.Inc("mac_inventory_collisions_total")
 				qfp = math.Min(float64(cfg.MaxQ), qfp+cfg.C)
 			}
 		}
+		sp.Attr("slots", slots).End()
 
 		// Identified nodes leave the population.
 		var next []byte

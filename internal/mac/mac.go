@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"pab/internal/frame"
+	"pab/internal/telemetry"
 )
 
 // Exchange is the outcome of one query/response cycle at the transport.
@@ -88,22 +89,29 @@ func (p *Poller) Poll(q frame.Query) (*frame.DataFrame, error) {
 	for attempt := 0; attempt <= p.MaxRetries; attempt++ {
 		if attempt > 0 {
 			p.stats.Retries++
+			telemetry.Inc("mac_retries_total")
 		}
 		p.stats.Queries++
+		telemetry.Inc("mac_queries_total")
 		ex, err := p.T.Exchange(q)
 		p.stats.Airtime += ex.AirtimeSeconds
+		telemetry.Observe("mac_airtime_seconds", ex.AirtimeSeconds)
 		if err != nil {
 			p.stats.Failures++
+			telemetry.Inc("mac_failures_total")
 			lastErr = err
 			continue
 		}
 		if ex.Reply == nil {
 			p.stats.Failures++
+			telemetry.Inc("mac_failures_total")
 			lastErr = fmt.Errorf("mac: no reply to %v", q.Command)
 			continue
 		}
 		p.stats.Replies++
 		p.stats.PayloadBytes += len(ex.Reply.Payload)
+		telemetry.Inc("mac_replies_total")
+		telemetry.SetLastDecodeRetries(attempt)
 		return ex.Reply, nil
 	}
 	return nil, fmt.Errorf("mac: query %v to %02x failed after %d attempts: %w",
@@ -248,6 +256,9 @@ func NewNetwork(transports map[byte]Transport, maxRetries int) (*Network, error)
 // to every node in address order. Results are keyed by address; failed
 // nodes map to nil.
 func (n *Network) Round(build func(addr byte) frame.Query) map[byte]*frame.DataFrame {
+	sp := telemetry.StartSpan("mac_round")
+	defer sp.End()
+	telemetry.Inc("mac_rounds_total")
 	out := make(map[byte]*frame.DataFrame, len(n.order))
 	for _, addr := range n.order {
 		reply, err := n.pollers[addr].Poll(build(addr))

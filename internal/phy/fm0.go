@@ -3,6 +3,8 @@ package phy
 import (
 	"fmt"
 	"math"
+
+	"pab/internal/telemetry"
 )
 
 // FM0 is the paper's uplink line code (§3.2): the level inverts at every
@@ -71,6 +73,8 @@ func (m *FM0) DecodeFrom(wave []float64, nbits int, prevLevel float64) ([]Bit, f
 	if max := len(wave) / m.SamplesPerBit; nbits > max {
 		nbits = max
 	}
+	telemetry.Inc("phy_fm0_decodes_total")
+	telemetry.Add("phy_fm0_bits_total", int64(nbits))
 	half := m.SamplesPerBit / 2
 	mid := meanOf(wave[:nbits*m.SamplesPerBit])
 

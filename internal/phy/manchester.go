@@ -1,6 +1,10 @@
 package phy
 
-import "fmt"
+import (
+	"fmt"
+
+	"pab/internal/telemetry"
+)
 
 // Manchester is the alternative bi-phase line code the paper names next
 // to FM0 (§3.2: "modulation schemes like FM0 or Manchester encoding,
@@ -53,6 +57,8 @@ func (m *Manchester) Decode(wave []float64, nbits int) []Bit {
 	if max := len(wave) / m.SamplesPerBit; nbits > max {
 		nbits = max
 	}
+	telemetry.Inc("phy_manchester_decodes_total")
+	telemetry.Add("phy_manchester_bits_total", int64(nbits))
 	half := m.SamplesPerBit / 2
 	bits := make([]Bit, nbits)
 	for i := 0; i < nbits; i++ {

@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 
 	"pab/internal/dsp"
+	"pab/internal/telemetry"
 )
 
 // PreambleBits is the 9-bit synchronisation pattern used on both links
@@ -109,11 +110,18 @@ func DetectPacketCandidates(wave []float64, m *FM0, threshold float64, maxK, min
 		}
 	}
 	if len(out) == 0 {
+		telemetry.Inc("phy_sync_misses_total")
 		_, best := dsp.ArgMaxAbs(corr)
 		return nil, fmt.Errorf("phy: no preamble found (best %.3f < threshold %.3f)", math.Abs(best), threshold)
 	}
+	telemetry.Inc("phy_sync_detects_total")
+	telemetry.ObserveN("phy_sync_candidates", telemetry.DefCountBuckets, float64(len(out)))
+	telemetry.ObserveN("phy_sync_peak", syncPeakBuckets, out[0].Score)
 	return out, nil
 }
+
+// syncPeakBuckets resolve the normalised correlation range [0, 1].
+var syncPeakBuckets = []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
 
 // EstimateCFO estimates the residual carrier frequency offset (Hz) of a
 // complex baseband signal from the phase slope over a known-modulus

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+
+	// Register the pprof handlers on http.DefaultServeMux; Handler
+	// forwards /debug/ requests there.
+	_ "net/http/pprof"
+)
+
+var publishOnce sync.Once
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics         Prometheus text exposition
+//	/telemetry.json  full JSON snapshot (metrics + spans + reports)
+//	/debug/pprof/*   the standard pprof handlers
+//	/debug/vars      expvar (includes a pab_telemetry snapshot var)
+func (r *Registry) Handler() http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("pab_telemetry", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := r.WritePrometheusText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/telemetry.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/", http.DefaultServeMux)
+	return mux
+}
+
+// StartDebugServer binds addr (e.g. ":6060") and serves the default
+// registry's Handler in a background goroutine. The bind happens
+// synchronously so a bad address fails fast; serve errors after a
+// successful bind are reported on stderr.
+func StartDebugServer(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	go func() {
+		if err := http.Serve(ln, Default().Handler()); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: debug server: %v\n", err)
+		}
+	}()
+	return nil
+}
+
+// WriteSnapshotFile writes the default registry's JSON snapshot to
+// path (the `-telemetry out.json` CLI flag).
+func WriteSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := Default().WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return f.Close()
+}

@@ -30,6 +30,7 @@ import (
 	"pab/internal/mac"
 	"pab/internal/node"
 	"pab/internal/sensors"
+	"pab/internal/telemetry"
 )
 
 // Re-exported domain types. The internal packages carry the full API;
@@ -225,6 +226,13 @@ func Experiments() []string { return experiments.Names() }
 
 // RoomTank returns bench-demo water conditions (pH 7, 22 °C, 1 atm).
 func RoomTank() Environment { return sensors.RoomTank() }
+
+// Telemetry returns the process-wide telemetry registry that every
+// layer of the signal path reports into: stage-timing spans for each
+// interrogation cycle, MAC and PHY counters, and per-decode diagnostic
+// reports. Use Snapshot/WriteJSON/WritePrometheusText on the result, or
+// SetEnabled(false) to turn all instrumentation into no-ops.
+func Telemetry() *telemetry.Registry { return telemetry.Default() }
 
 // Trace reproduces the paper's Fig 2 demonstration on this link: the
 // projector transmits CW from txStart, the node toggles its switch at
