@@ -33,6 +33,8 @@ func realMain() int {
 	gate := flag.Int("gate", 0, "decode only after this sample (reader's query end)")
 	var tf cli.TelemetryFlags
 	tf.Register()
+	var rf cli.RunFlags
+	rf.Register()
 	flag.Parse()
 	if *in == "" || flag.NArg() > 0 || *bitrate <= 0 || *carrier < 0 || *gate < 0 {
 		return cli.Usage()
@@ -40,11 +42,11 @@ func realMain() int {
 	if code := tf.Start("pabdecode"); code != cli.ExitOK {
 		return code
 	}
-	code := cli.ExitOK
-	if err := run(*in, *bitrate, *carrier, *gate); err != nil {
-		fmt.Fprintf(os.Stderr, "pabdecode: %v\n", err)
-		code = cli.ExitRuntime
-	}
+	ctx, stop := rf.Context()
+	defer stop()
+	code := cli.Exit("pabdecode", cli.RunWithContext(ctx, func() error {
+		return run(*in, *bitrate, *carrier, *gate)
+	}))
 	return tf.Finish("pabdecode", code)
 }
 

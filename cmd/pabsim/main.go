@@ -7,7 +7,15 @@
 //	pabsim -experiment fig3 -plot    # the same figure as an ASCII chart
 //	pabsim -experiment all           # every figure, with banners
 //	pabsim -list                     # available experiment ids
+//	pabsim -chaos shrimp -seed 7     # blind-vs-adaptive chaos comparison
 //	pabsim -telemetry out.json       # smoke exchange + telemetry snapshot
+//
+// -chaos runs the fault-injection scenario under the named profile
+// (calm, shrimp, storm, brownout, drift, abyss) and reports delivered
+// goodput, recovery latency and per-fault-class injection counts for a
+// blind fixed-rate poller versus the adaptive session. Runs are seeded:
+// the same -seed reproduces a bit-identical report (check the printed
+// fingerprint). -timeout bounds any invocation's wall-clock time.
 //
 // Every invocation accepts -telemetry out.json (JSON snapshot of the
 // stage-timing spans, layer counters and decode reports accumulated
@@ -28,6 +36,7 @@ import (
 	"pab/internal/cli"
 	"pab/internal/core"
 	"pab/internal/experiments"
+	"pab/internal/fault"
 	"pab/internal/frame"
 	"pab/internal/mac"
 	"pab/internal/plot"
@@ -42,8 +51,13 @@ func realMain() int {
 	exp := flag.String("experiment", "", "experiment id (see -list), or 'all'")
 	list := flag.Bool("list", false, "list available experiments")
 	doPlot := flag.Bool("plot", false, "render an ASCII chart instead of TSV")
+	chaos := flag.String("chaos", "", "run a chaos scenario under this fault profile (calm | shrimp | storm | brownout | drift | abyss)")
+	seed := flag.Int64("seed", 1, "chaos scenario seed; equal seeds yield bit-identical reports")
+	chaosDur := flag.Float64("chaos-duration", 180, "simulated seconds per chaos strategy run")
 	var tf cli.TelemetryFlags
 	tf.Register()
+	var rf cli.RunFlags
+	rf.Register()
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -53,6 +67,8 @@ func realMain() int {
 	if code := tf.Start("pabsim"); code != cli.ExitOK {
 		return code
 	}
+	ctx, stop := rf.Context()
+	defer stop()
 
 	code := cli.ExitOK
 	switch {
@@ -61,34 +77,51 @@ func realMain() int {
 			desc, _ := experiments.Describe(name)
 			fmt.Printf("%-10s %s\n", name, desc)
 		}
+	case *chaos != "":
+		code = cli.Exit("pabsim", cli.RunWithContext(ctx, func() error {
+			return runChaos(*chaos, *seed, *chaosDur)
+		}))
 	case *exp == "all":
-		for _, name := range experiments.Names() {
-			desc, _ := experiments.Describe(name)
-			fmt.Printf("## %s — %s\n", name, desc)
-			if err := run(name, *doPlot); err != nil {
-				fmt.Fprintf(os.Stderr, "pabsim: %s: %v\n", name, err)
-				code = cli.ExitRuntime
-				break
+		code = cli.Exit("pabsim", cli.RunWithContext(ctx, func() error {
+			for _, name := range experiments.Names() {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				desc, _ := experiments.Describe(name)
+				fmt.Printf("## %s — %s\n", name, desc)
+				if err := run(name, *doPlot); err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				fmt.Println()
 			}
-			fmt.Println()
-		}
+			return nil
+		}))
 	case *exp != "":
-		if err := run(*exp, *doPlot); err != nil {
-			fmt.Fprintf(os.Stderr, "pabsim: %v\n", err)
-			code = cli.ExitRuntime
-		}
+		code = cli.Exit("pabsim", cli.RunWithContext(ctx, func() error {
+			return run(*exp, *doPlot)
+		}))
 	case tf.SnapshotPath != "" || tf.DebugAddr != "":
 		// Telemetry-only invocation: exercise the full signal path so
 		// the snapshot carries stage spans, MAC counters and decode
 		// reports.
-		if err := smokeExchange(); err != nil {
-			fmt.Fprintf(os.Stderr, "pabsim: smoke exchange: %v\n", err)
-			code = cli.ExitRuntime
-		}
+		code = cli.Exit("pabsim", cli.RunWithContext(ctx, smokeExchange))
 	default:
 		return cli.Usage()
 	}
 	return tf.Finish("pabsim", code)
+}
+
+// runChaos runs the blind-vs-adaptive fault-injection comparison and
+// renders its report.
+func runChaos(profile string, seed int64, durS float64) error {
+	cfg := fault.DefaultScenarioConfig()
+	cfg.DurationS = durS
+	r, err := fault.RunScenario(profile, seed, cfg)
+	if err != nil {
+		return err
+	}
+	r.WriteText(os.Stdout)
+	return nil
 }
 
 // smokeExchange runs one end-to-end interrogation cycle plus the MAC

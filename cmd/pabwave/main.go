@@ -34,6 +34,8 @@ func realMain() int {
 	bitrate := flag.Float64("bitrate", 500, "backscatter bitrate (bit/s)")
 	var tf cli.TelemetryFlags
 	tf.Register()
+	var rf cli.RunFlags
+	rf.Register()
 	flag.Parse()
 	switch *kind {
 	case "query", "exchange", "trace":
@@ -47,11 +49,11 @@ func realMain() int {
 	if code := tf.Start("pabwave"); code != cli.ExitOK {
 		return code
 	}
-	code := cli.ExitOK
-	if err := run(*kind, *out, *bitrate); err != nil {
-		fmt.Fprintf(os.Stderr, "pabwave: %v\n", err)
-		code = cli.ExitRuntime
-	}
+	ctx, stop := rf.Context()
+	defer stop()
+	code := cli.Exit("pabwave", cli.RunWithContext(ctx, func() error {
+		return run(*kind, *out, *bitrate)
+	}))
 	return tf.Finish("pabwave", code)
 }
 

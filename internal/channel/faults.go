@@ -1,0 +1,59 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+
+	"pab/internal/telemetry"
+)
+
+// AddImpulseBurst adds one impulsive broadband transient — a
+// snapping-shrimp click or similar — to a pressure recording in place:
+// white noise at ampPa RMS under an exponentially decaying envelope,
+// starting startS seconds into the recording and nominally durS long
+// (the envelope's time constant is durS/3, so the tail fades naturally).
+// Portions outside the recording are ignored.
+func AddImpulseBurst(y []float64, fs, startS, durS, ampPa float64, rng *rand.Rand) {
+	if fs <= 0 || durS <= 0 || ampPa <= 0 || rng == nil {
+		return
+	}
+	start := int(startS * fs)
+	n := int(durS * fs)
+	if n < 1 {
+		n = 1
+	}
+	tau := durS / 3 * fs
+	added := false
+	for i := 0; i < n; i++ {
+		idx := start + i
+		if idx < 0 || idx >= len(y) {
+			continue
+		}
+		y[idx] += ampPa * math.Exp(-float64(i)/tau) * rng.NormFloat64()
+		added = true
+	}
+	if added {
+		telemetry.Inc("channel_impulse_bursts_total")
+	}
+}
+
+// Clip saturates a recording at ±level in place — hydrophone front-end
+// saturation — and returns how many samples clipped.
+func Clip(y []float64, level float64) int {
+	if level <= 0 {
+		return 0
+	}
+	clipped := 0
+	for i, v := range y {
+		switch {
+		case v > level:
+			y[i] = level
+			clipped++
+		case v < -level:
+			y[i] = -level
+			clipped++
+		}
+	}
+	telemetry.Add("channel_clipped_samples_total", int64(clipped))
+	return clipped
+}

@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Exit codes for interrupted runs, following the shell conventions:
+// timeout(1) exits 124 on a deadline, and a SIGINT death reads as
+// 128+2.
+const (
+	ExitTimeout     = 124
+	ExitInterrupted = 130
+)
+
+// RunFlags carries the lifecycle flags shared by the cmd/ binaries.
+type RunFlags struct {
+	// Timeout, when positive, aborts the run after this duration
+	// (-timeout 90s).
+	Timeout time.Duration
+}
+
+// Register installs -timeout on the default flag set.
+func (r *RunFlags) Register() {
+	flag.DurationVar(&r.Timeout, "timeout", 0,
+		"abort the run after this duration (e.g. 90s; 0 = no limit)")
+}
+
+// Context returns a context cancelled by SIGINT/SIGTERM and, when
+// -timeout was given, by its deadline. The returned stop function
+// releases the signal handler; defer it.
+func (r *RunFlags) Context() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
+		prev := stop
+		stop = func() { cancel(); prev() }
+	}
+	return ctx, stop
+}
+
+// RunWithContext runs work, returning the context's error if the
+// deadline or a signal fires before the work completes. The abandoned
+// work keeps its goroutine — the process is about to exit anyway.
+func RunWithContext(ctx context.Context, work func() error) error {
+	done := make(chan error, 1)
+	go func() { done <- work() }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Exit maps a run outcome onto the shared exit codes, printing the
+// failure to stderr: ExitTimeout on a deadline, ExitInterrupted on a
+// signal, ExitRuntime on any other error.
+func Exit(prog string, err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "%s: timed out\n", prog)
+		return ExitTimeout
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "%s: interrupted\n", prog)
+		return ExitInterrupted
+	default:
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+		return ExitRuntime
+	}
+}

@@ -1,0 +1,44 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{context.DeadlineExceeded, ExitTimeout},
+		{context.Canceled, ExitInterrupted},
+		{fmt.Errorf("wrapped: %w", context.DeadlineExceeded), ExitTimeout},
+		{fmt.Errorf("boom"), ExitRuntime},
+	}
+	for _, c := range cases {
+		if got := Exit("test", c.err); got != c.want {
+			t.Errorf("Exit(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRunWithContext(t *testing.T) {
+	if err := RunWithContext(context.Background(), func() error { return nil }); err != nil {
+		t.Errorf("completed work returned %v", err)
+	}
+	wantErr := fmt.Errorf("work failed")
+	if err := RunWithContext(context.Background(), func() error { return wantErr }); err != wantErr {
+		t.Errorf("got %v, want the work's error", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	block := make(chan struct{})
+	defer close(block)
+	err := RunWithContext(ctx, func() error { <-block; return nil })
+	if err != context.DeadlineExceeded {
+		t.Errorf("hung work returned %v, want DeadlineExceeded", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"pab/internal/channel"
 	"pab/internal/dsp"
+	"pab/internal/fault"
 	"pab/internal/frame"
 	"pab/internal/node"
 	"pab/internal/phy"
@@ -87,6 +88,10 @@ type Link struct {
 
 	rhoC float64
 	rng  *rand.Rand
+
+	fault  *fault.Engine // nil unless chaos is attached
+	ladder []linkOp      // rate-adaptation rungs, 0 = most robust
+	level  int           // current rung
 }
 
 // NewLink validates the configuration, places the elements in the tank
@@ -124,16 +129,19 @@ func NewLink(cfg LinkConfig, n *node.Node, proj *projector.Projector) (*Link, er
 	if err != nil {
 		return nil, err
 	}
+	ladder := buildLadder(cfg)
 	return &Link{
-		cfg:  cfg,
-		node: n,
-		proj: proj,
-		recv: recv,
-		irPN: irPN,
-		irPH: irPH,
-		irNH: irNH,
-		rhoC: piezo.RhoC(cfg.Tank.Water.SoundSpeed(), cfg.Tank.Water.SalinityPSU > 5),
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		cfg:    cfg,
+		node:   n,
+		proj:   proj,
+		recv:   recv,
+		irPN:   irPN,
+		irPH:   irPH,
+		irNH:   irNH,
+		rhoC:   piezo.RhoC(cfg.Tank.Water.SoundSpeed(), cfg.Tank.Water.SalinityPSU > 5),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		ladder: ladder,
+		level:  len(ladder) - 1,
 	}, nil
 }
 
@@ -213,6 +221,9 @@ type ExchangeResult struct {
 // level: PWM query downlink, node decode, FM0 backscatter uplink,
 // hydrophone decode. The node must already be powered (use PowerUp).
 func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
+	if l.faultNodeOff() {
+		return nil, faultQueryError(q)
+	}
 	if l.node.State() == node.Off {
 		return nil, fmt.Errorf("core: node is not powered; call PowerUp first")
 	}
@@ -286,6 +297,20 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 			// turnaround, offset by the propagation delay to the node.
 			delayPN := int(l.irPN.Taps[0].DelaySeconds * l.cfg.SampleRate)
 			start := queryEndX + delayPN + int(processingMargin*l.cfg.SampleRate)
+			midFrameBrownout := false
+			if l.fault != nil {
+				ulStart := l.fault.Now() + float64(start)/l.cfg.SampleRate
+				ulDur := float64(len(states)) / l.cfg.SampleRate
+				if keep, ok := l.fault.TruncationAt(ulStart); ok {
+					states = states[:int(float64(len(states))*keep)]
+					telemetry.Inc("core_fault_truncated_uplinks_total")
+				}
+				if l.fault.BrownoutDuring(l.node.Addr(), ulStart, ulStart+ulDur) {
+					states = states[:len(states)/2]
+					midFrameBrownout = true
+					telemetry.Inc("core_fault_midframe_brownouts_total")
+				}
+			}
 			reflGain := l.node.FrontEnd().ReflectionCoeff(piezo.Reflective, l.cfg.CarrierHz)
 			// The resonator's stored energy slews the reflection between
 			// states over its ring time τ rather than instantaneously —
@@ -305,7 +330,11 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 				gSmooth += complex(alpha, 0) * (g - gSmooth)
 				reflected[idx] = real(gSmooth * aNode[idx])
 			}
-			l.node.FinishBackscatter()
+			if midFrameBrownout {
+				l.node.ForceBrownout()
+			} else {
+				l.node.FinishBackscatter()
+			}
 		} else if err != nil {
 			spStage.End()
 			return nil, err
@@ -320,6 +349,14 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 		reflected = dopplerScale(reflected, l.cfg.NodeRadialSpeedMS, l.cfg.Tank.Water.SoundSpeed())
 	}
 	scattered := l.irNH.Apply(reflected)
+	if l.fault != nil {
+		if g := l.fault.UplinkGain(l.fault.Now()); g != 1 {
+			for i := range scattered {
+				scattered[i] *= g
+			}
+			telemetry.Inc("core_fault_faded_uplinks_total")
+		}
+	}
 	n := max(len(direct), len(scattered))
 	y := make([]float64, n)
 	copy(y, direct)
@@ -328,7 +365,21 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 	if noise <= 0 {
 		noise = 0.05
 	}
+	if l.fault != nil {
+		noise *= l.fault.NoiseScale(l.fault.Now())
+	}
 	channel.AddWhiteNoise(y, noise, l.rng)
+	if l.fault != nil {
+		ft := l.fault.Now()
+		dur := float64(len(y)) / l.cfg.SampleRate
+		for _, b := range l.fault.BurstsIn(ft, ft+dur) {
+			channel.AddImpulseBurst(y, l.cfg.SampleRate, b.StartS-ft, b.DurS, b.AmpPa, l.fault.Rand())
+		}
+		if level, ok := l.fault.ClipLevel(ft); ok {
+			channel.Clip(y, level)
+		}
+		l.fault.Advance(dur)
+	}
 	spStage.Attr("samples", n).End()
 	res.Recording = y
 	res.CapVoltage = l.node.CapVoltage()

@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleTimeline probes every hook at a fixed time grid so two engines
+// can be compared value-for-value.
+func sampleTimeline(e *Engine, nodes []byte, horizonS float64) []float64 {
+	var out []float64
+	for t := 0.0; t < horizonS; t += 0.25 {
+		out = append(out, e.NoiseScale(t), e.UplinkGain(t))
+		if v, ok := e.ClipLevel(t); ok {
+			out = append(out, v)
+		}
+		if v, ok := e.TruncationAt(t); ok {
+			out = append(out, v)
+		}
+		for _, b := range e.BurstsIn(t, t+0.25) {
+			out = append(out, b.StartS, b.DurS, b.AmpPa)
+		}
+		for _, addr := range nodes {
+			if e.NodeOff(addr, t) {
+				out = append(out, float64(addr))
+			}
+		}
+	}
+	for _, addr := range nodes {
+		out = append(out, e.ClockDriftPPM(addr))
+	}
+	return out
+}
+
+func TestEngineTimelinesDeterministic(t *testing.T) {
+	nodes := []byte{1, 2, 3, 4}
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		a, err := NewEngine(p, 42, 60, nodes)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		b, err := NewEngine(p, 42, 60, nodes)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		if !reflect.DeepEqual(sampleTimeline(a, nodes, 60), sampleTimeline(b, nodes, 60)) {
+			t.Errorf("profile %q: same seed produced different timelines", name)
+		}
+	}
+}
+
+func TestEngineSeedsDiffer(t *testing.T) {
+	nodes := []byte{1, 2}
+	p, _ := ByName("shrimp")
+	a, _ := NewEngine(p, 1, 60, nodes)
+	b, _ := NewEngine(p, 2, 60, nodes)
+	if reflect.DeepEqual(sampleTimeline(a, nodes, 60), sampleTimeline(b, nodes, 60)) {
+		t.Error("different seeds produced identical timelines")
+	}
+}
+
+// Adding an injector must not perturb the schedules of the others —
+// each draws from its own sub-stream.
+func TestEngineSubStreamIsolation(t *testing.T) {
+	base := Profile{Impulse: &ImpulseNoise{
+		EpisodeEveryS: 5, EpisodeDurS: 2, RatePerS: 4, BurstDurS: 0.05, AmpPa: 30,
+	}}
+	more := base
+	more.NoiseFloor = &NoiseSteps{StepEveryS: 10, StepDurS: 3, MaxScale: 3}
+	more.Brownout = &Brownouts{EveryS: 20, RecoverS: 5}
+
+	a, _ := NewEngine(base, 9, 120, []byte{1})
+	b, _ := NewEngine(more, 9, 120, []byte{1})
+	ba := a.BurstsIn(0, 120)
+	bb := b.BurstsIn(0, 120)
+	if !reflect.DeepEqual(append([]Burst(nil), ba...), append([]Burst(nil), bb...)) {
+		t.Error("adding injectors perturbed the impulse schedule")
+	}
+}
+
+func TestNodeDeathAndBrownout(t *testing.T) {
+	p := Profile{Brownout: &Brownouts{EveryS: 20, RecoverS: 5}, DeadNodes: 1}
+	e, err := NewEngine(p, 3, 100, []byte{2, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lowest address dies; death lands in (0.05, 0.35) of the horizon.
+	d, ok := e.deadFrom[1]
+	if !ok {
+		t.Fatal("node 1 not scheduled to die")
+	}
+	if d < 5 || d > 35 {
+		t.Errorf("death time %g outside first third of a 100 s run", d)
+	}
+	if e.NodeOff(1, d-0.001) && !e.NodeOff(1, d-0.001) {
+		t.Error("node flapping before death")
+	}
+	if !e.NodeOff(1, d) || !e.NodeOff(1, 99) {
+		t.Error("dead node reported powered")
+	}
+	if _, ok := e.deadFrom[2]; ok {
+		t.Error("node 2 should outlive the run")
+	}
+	// Brownout windows hit every node; over 100 s with ~20 s spacing at
+	// least one window must exist.
+	if len(e.brownouts[2]) == 0 {
+		t.Error("no brownout windows scheduled for node 2")
+	}
+	for _, w := range e.brownouts[2] {
+		if !e.NodeOff(2, (w.start+w.end)/2) {
+			t.Errorf("node 2 powered inside brownout window [%g, %g)", w.start, w.end)
+		}
+	}
+}
+
+func TestBrownoutDuring(t *testing.T) {
+	p := Profile{Brownout: &Brownouts{EveryS: 20, RecoverS: 5}}
+	e, _ := NewEngine(p, 3, 100, []byte{1})
+	ws := e.brownouts[1]
+	if len(ws) == 0 {
+		t.Fatal("no brownout windows")
+	}
+	w := ws[0]
+	if !e.BrownoutDuring(1, w.start-1, w.start+0.1) {
+		t.Error("overlap with window start not detected")
+	}
+	if e.BrownoutDuring(1, w.end+0.01, w.end+0.02) && len(ws) == 1 {
+		t.Error("phantom brownout after the only window")
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	e, _ := NewEngine(Profile{}, 1, 10, nil)
+	e.Advance(1.5)
+	e.Advance(-3)
+	e.Sleep(0.5)
+	if got := e.Now(); got != 2 {
+		t.Errorf("Now() = %g, want 2 (negative advance must be ignored)", got)
+	}
+}
+
+func TestDriftBounded(t *testing.T) {
+	p := Profile{Drift: &ClockDrift{MaxPPM: 900}}
+	e, _ := NewEngine(p, 11, 10, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	anyNonZero := false
+	for addr := byte(1); addr <= 8; addr++ {
+		ppm := e.ClockDriftPPM(addr)
+		if math.Abs(ppm) > 900 {
+			t.Errorf("node %d drift %g ppm exceeds MaxPPM", addr, ppm)
+		}
+		if ppm != 0 {
+			anyNonZero = true
+		}
+	}
+	if !anyNonZero {
+		t.Error("no node drew any drift")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"shrimp", " SHRIMP ", "Calm"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	_, err := ByName("kraken")
+	if err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if !strings.Contains(err.Error(), "shrimp") {
+		t.Errorf("error should list known profiles, got: %v", err)
+	}
+}
+
+func TestCountsFixedOrder(t *testing.T) {
+	p, _ := ByName("abyss")
+	e, _ := NewEngine(p, 5, 60, []byte{1, 2})
+	sampleTimeline(e, []byte{1, 2}, 60)
+	counts := e.Counts()
+	if len(counts) != len(classes) {
+		t.Fatalf("Counts() returned %d classes, want %d", len(counts), len(classes))
+	}
+	for i, c := range counts {
+		if c.Class != classes[i] {
+			t.Errorf("Counts()[%d] = %q, want %q", i, c.Class, classes[i])
+		}
+	}
+}

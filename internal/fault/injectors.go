@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// ImpulseNoise models snapping-shrimp-like impulsive interference: the
+// clicks arrive in episodes (shrimp beds fire in choruses), each episode
+// holding a Poisson train of short broadband bursts. Clustering is what
+// makes blind instant retries so costly — every retry inside an episode
+// dies like the one before it — and what exponential backoff exploits.
+type ImpulseNoise struct {
+	// EpisodeEveryS is the mean gap between episode starts.
+	EpisodeEveryS float64
+	// EpisodeDurS is the mean episode duration.
+	EpisodeDurS float64
+	// RatePerS is the burst arrival rate inside an episode.
+	RatePerS float64
+	// BurstDurS is the mean single-burst duration.
+	BurstDurS float64
+	// AmpPa is the burst amplitude at the hydrophone.
+	AmpPa float64
+}
+
+// schedule precomputes the burst train over the horizon.
+func (n *ImpulseNoise) schedule(rng *rand.Rand, horizonS float64) []Burst {
+	var out []Burst
+	if n.EpisodeEveryS <= 0 || n.EpisodeDurS <= 0 || n.RatePerS <= 0 {
+		return out
+	}
+	t := rng.ExpFloat64() * n.EpisodeEveryS / 2 // first episode arrives early-ish
+	for t < horizonS {
+		epEnd := t + n.EpisodeDurS*(0.5+rng.Float64())
+		if epEnd > horizonS {
+			epEnd = horizonS
+		}
+		// Poisson burst train inside the episode.
+		bt := t
+		for {
+			bt += rng.ExpFloat64() / n.RatePerS
+			if bt >= epEnd {
+				break
+			}
+			dur := n.BurstDurS * (0.5 + rng.Float64())
+			out = append(out, Burst{StartS: bt, DurS: dur, AmpPa: n.AmpPa})
+		}
+		t = epEnd + rng.ExpFloat64()*n.EpisodeEveryS
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].StartS < out[b].StartS })
+	return out
+}
+
+// NoiseSteps models wideband noise-floor steps — a passing vessel, rain
+// on the surface, a pump switching on: the floor jumps by a factor for
+// a while, then settles back.
+type NoiseSteps struct {
+	// StepEveryS is the mean gap between steps.
+	StepEveryS float64
+	// StepDurS is the mean elevated-floor duration.
+	StepDurS float64
+	// MaxScale bounds the noise multiplier; each step draws uniformly
+	// from [1.5, MaxScale].
+	MaxScale float64
+}
+
+func (n *NoiseSteps) schedule(rng *rand.Rand, horizonS float64) []window {
+	var out []window
+	if n.StepEveryS <= 0 || n.StepDurS <= 0 {
+		return out
+	}
+	maxScale := n.MaxScale
+	if maxScale < 1.5 {
+		maxScale = 1.5
+	}
+	t := rng.ExpFloat64() * n.StepEveryS
+	for t < horizonS {
+		dur := n.StepDurS * (0.5 + rng.Float64())
+		scale := 1.5 + (maxScale-1.5)*rng.Float64()
+		out = append(out, window{start: t, end: t + dur, value: scale})
+		t += dur + rng.ExpFloat64()*n.StepEveryS
+	}
+	return out
+}
+
+// Fading models channel dropouts and attenuation fades: surface motion
+// and mobility swing the multipath sum through destructive nulls, so the
+// uplink gain collapses for stretches (paper §8's open-water challenge).
+type Fading struct {
+	// FadeEveryS is the mean gap between fades.
+	FadeEveryS float64
+	// FadeDurS is the mean fade duration.
+	FadeDurS float64
+	// MinGain is the deepest attenuation multiplier (0 = full dropout);
+	// each fade draws uniformly from [MinGain, 0.5].
+	MinGain float64
+}
+
+func (f *Fading) schedule(rng *rand.Rand, horizonS float64) []window {
+	var out []window
+	if f.FadeEveryS <= 0 || f.FadeDurS <= 0 {
+		return out
+	}
+	t := rng.ExpFloat64() * f.FadeEveryS
+	for t < horizonS {
+		dur := f.FadeDurS * (0.5 + rng.Float64())
+		gain := f.MinGain + (0.5-f.MinGain)*rng.Float64()
+		if gain < 0 {
+			gain = 0
+		}
+		out = append(out, window{start: t, end: t + dur, value: gain})
+		t += dur + rng.ExpFloat64()*f.FadeEveryS
+	}
+	return out
+}
+
+// Brownouts models supercap exhaustion on battery-free nodes: the node
+// goes dark mid-protocol and needs RecoverS of recharge before it can
+// answer again — the paper's nodes "lose power mid-protocol" reality.
+type Brownouts struct {
+	// EveryS is the mean gap between brownouts per node.
+	EveryS float64
+	// RecoverS is the mean off-time until the supercap recharges.
+	RecoverS float64
+}
+
+func (b *Brownouts) schedule(rng *rand.Rand, horizonS float64) []window {
+	var out []window
+	if b.EveryS <= 0 || b.RecoverS <= 0 {
+		return out
+	}
+	t := rng.ExpFloat64() * b.EveryS
+	for t < horizonS {
+		dur := b.RecoverS * (0.5 + rng.Float64())
+		out = append(out, window{start: t, end: t + dur, value: 1})
+		t += dur + rng.ExpFloat64()*b.EveryS
+	}
+	return out
+}
+
+// ClockDrift models per-node crystal offset: each node draws a constant
+// ppm error, which slews bit timing over a frame — long frames slip past
+// the receiver's timing tolerance first.
+type ClockDrift struct {
+	// MaxPPM bounds the drift magnitude; each node draws uniformly from
+	// [-MaxPPM, MaxPPM].
+	MaxPPM float64
+}
+
+func (c *ClockDrift) draw(rng *rand.Rand) float64 {
+	return (2*rng.Float64() - 1) * c.MaxPPM
+}
+
+// Saturation models hydrophone front-end clipping: during a window the
+// recorder saturates at ClipPa, folding intermodulation into the band.
+type Saturation struct {
+	// EveryS is the mean gap between clipping windows.
+	EveryS float64
+	// DurS is the mean window duration.
+	DurS float64
+	// ClipPa is the saturation level.
+	ClipPa float64
+}
+
+func (s *Saturation) schedule(rng *rand.Rand, horizonS float64) []window {
+	var out []window
+	if s.EveryS <= 0 || s.DurS <= 0 || s.ClipPa <= 0 {
+		return out
+	}
+	t := rng.ExpFloat64() * s.EveryS
+	for t < horizonS {
+		dur := s.DurS * (0.5 + rng.Float64())
+		out = append(out, window{start: t, end: t + dur, value: s.ClipPa})
+		t += dur + rng.ExpFloat64()*s.EveryS
+	}
+	return out
+}
+
+// Truncation models frames cut off mid-air — the tail lost to a switch
+// glitch or an interrupted backscatter schedule. A frame that starts
+// inside a truncation window keeps only a fraction of its bits.
+type Truncation struct {
+	// EveryS is the mean gap between truncation windows.
+	EveryS float64
+	// DurS is the mean window duration.
+	DurS float64
+}
+
+func (tr *Truncation) schedule(rng *rand.Rand, horizonS float64) []window {
+	var out []window
+	if tr.EveryS <= 0 || tr.DurS <= 0 {
+		return out
+	}
+	t := rng.ExpFloat64() * tr.EveryS
+	for t < horizonS {
+		dur := tr.DurS * (0.5 + rng.Float64())
+		frac := 0.2 + 0.6*rng.Float64() // keep 20–80% of the frame
+		out = append(out, window{start: t, end: t + dur, value: frac})
+		t += dur + rng.ExpFloat64()*tr.EveryS
+	}
+	return out
+}

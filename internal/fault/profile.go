@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profile is a named composition of injectors — a chaos scenario. Nil
+// injectors are simply off, so profiles compose à la carte.
+type Profile struct {
+	Name        string
+	Description string
+
+	Impulse    *ImpulseNoise
+	NoiseFloor *NoiseSteps
+	Fading     *Fading
+	Brownout   *Brownouts
+	Drift      *ClockDrift
+	Clipping   *Saturation
+	Truncation *Truncation
+	// DeadNodes is how many nodes (lowest addresses first) die
+	// permanently partway through the run.
+	DeadNodes int
+}
+
+// profiles is the registry of named chaos scenarios.
+var profiles = map[string]Profile{
+	"calm": {
+		Name:        "calm",
+		Description: "no faults — a control run",
+	},
+	"shrimp": {
+		Name: "shrimp",
+		Description: "clustered impulsive noise episodes (snapping-shrimp choruses), " +
+			"per-node clock drift, long supercap brownouts and one permanent node " +
+			"death — the default chaos profile",
+		Impulse: &ImpulseNoise{
+			EpisodeEveryS: 5,
+			EpisodeDurS:   4,
+			RatePerS:      6,
+			BurstDurS:     0.08,
+			AmpPa:         40,
+		},
+		Drift:     &ClockDrift{MaxPPM: 900},
+		Brownout:  &Brownouts{EveryS: 40, RecoverS: 25},
+		DeadNodes: 1,
+	},
+	"storm": {
+		Name: "storm",
+		Description: "wideband noise-floor steps, deep attenuation fades and " +
+			"hydrophone clipping — surface weather over a shallow deployment",
+		NoiseFloor: &NoiseSteps{StepEveryS: 12, StepDurS: 6, MaxScale: 4},
+		Fading:     &Fading{FadeEveryS: 15, FadeDurS: 4, MinGain: 0},
+		Clipping:   &Saturation{EveryS: 40, DurS: 3, ClipPa: 2},
+	},
+	"brownout": {
+		Name: "brownout",
+		Description: "aggressive supercap brownouts and one permanently dead node — " +
+			"the battery-free power-loss stress",
+		Brownout:  &Brownouts{EveryS: 25, RecoverS: 10},
+		DeadNodes: 1,
+	},
+	"drift": {
+		Name: "drift",
+		Description: "node clock drift plus frame truncation — timing pathology " +
+			"that punishes long frames",
+		Drift:      &ClockDrift{MaxPPM: 900},
+		Truncation: &Truncation{EveryS: 30, DurS: 5},
+	},
+	"abyss": {
+		Name: "abyss",
+		Description: "everything at once: shrimp choruses, noise steps, fades, " +
+			"brownouts, drift, clipping, truncation and a dead node",
+		Impulse: &ImpulseNoise{
+			EpisodeEveryS: 8,
+			EpisodeDurS:   2.5,
+			RatePerS:      4,
+			BurstDurS:     0.08,
+			AmpPa:         40,
+		},
+		NoiseFloor: &NoiseSteps{StepEveryS: 20, StepDurS: 6, MaxScale: 3},
+		Fading:     &Fading{FadeEveryS: 25, FadeDurS: 3, MinGain: 0},
+		Brownout:   &Brownouts{EveryS: 60, RecoverS: 10},
+		Drift:      &ClockDrift{MaxPPM: 400},
+		Clipping:   &Saturation{EveryS: 60, DurS: 2, ClipPa: 2},
+		Truncation: &Truncation{EveryS: 45, DurS: 3},
+		DeadNodes:  1,
+	},
+}
+
+// ByName returns a registered profile.
+func ByName(name string) (Profile, error) {
+	p, ok := profiles[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return Profile{}, fmt.Errorf("fault: unknown profile %q (have: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return p, nil
+}
+
+// Names lists the registered profiles alphabetically.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

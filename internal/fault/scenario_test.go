@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Two runs of the same (profile, seed, config) must produce
+// byte-identical reports — the bit-reproducibility guarantee the whole
+// fault layer is built around.
+func TestScenarioReproducible(t *testing.T) {
+	cfg := DefaultScenarioConfig()
+	a, err := RunScenario("shrimp", 7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario("shrimp", 7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Errorf("fingerprints differ: %016x vs %016x", a.Fingerprint, b.Fingerprint)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("reports differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestScenarioSeedsDiffer(t *testing.T) {
+	cfg := DefaultScenarioConfig()
+	cfg.DurationS = 60
+	a, err := RunScenario("shrimp", 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario("shrimp", 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint == b.Fingerprint {
+		t.Error("different seeds produced identical fingerprints")
+	}
+}
+
+// The ISSUE acceptance criterion: on the default impulsive-noise
+// profile, the adaptive Session must at least double the blind Poller's
+// goodput. This matches the README quick start (pabsim -chaos shrimp
+// -seed 7).
+func TestAdaptiveBeatsBlindOnShrimp(t *testing.T) {
+	r, err := RunScenario("shrimp", 7, DefaultScenarioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blind.GoodputBps <= 0 {
+		t.Fatalf("blind delivered nothing; the profile is too harsh for a fair comparison: %+v", r.Blind)
+	}
+	if r.AdvantageX < 2 {
+		t.Errorf("adaptive advantage %.2fx < 2x (blind %.1f bps, adaptive %.1f bps)",
+			r.AdvantageX, r.Blind.GoodputBps, r.Adaptive.GoodputBps)
+	}
+	// The resilience machinery must actually have engaged.
+	if r.Adaptive.Downshifts == 0 {
+		t.Error("adaptive run never downshifted")
+	}
+	if r.Adaptive.Quarantines == 0 {
+		t.Error("adaptive run never quarantined the dead node")
+	}
+}
+
+// A calm run is the control: with no faults the two strategies poll the
+// same ladder rung, so adaptation must cost (almost) nothing.
+func TestCalmParity(t *testing.T) {
+	cfg := DefaultScenarioConfig()
+	cfg.DurationS = 60
+	r, err := RunScenario("calm", 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blind.Failures != 0 || r.Adaptive.Failures != 0 {
+		t.Errorf("failures on a calm run: blind %d, adaptive %d", r.Blind.Failures, r.Adaptive.Failures)
+	}
+	if r.AdvantageX < 0.9 || r.AdvantageX > 1.1 {
+		t.Errorf("calm advantage %.2fx, want ~1x", r.AdvantageX)
+	}
+}
+
+func TestScenarioUnknownProfile(t *testing.T) {
+	if _, err := RunScenario("kraken", 1, DefaultScenarioConfig()); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestReportWriteText(t *testing.T) {
+	cfg := DefaultScenarioConfig()
+	cfg.DurationS = 30
+	r, err := RunScenario("shrimp", 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{"chaos profile", "fingerprint", "goodput (bps)", "blind", "adaptive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the wire decoders (go test -fuzz=FuzzUnmarshal...):
+// whatever bytes the demodulator hands up, the decoders must never
+// panic, and anything they accept must survive a marshal round trip.
+
+func FuzzUnmarshalDataFrame(f *testing.F) {
+	valid, err := DataFrame{Source: 0x2A, Seq: 3, Payload: []byte{1, 2, 3, 4}}.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])          // truncated CRC
+	f.Add([]byte{})                      // empty
+	f.Add([]byte{0, 0, 0, 0, 0})         // zero frame, bad CRC
+	f.Add([]byte{1, 2, 200, 3, 4, 5, 6}) // declared payload > max
+	corrupt := append([]byte(nil), valid...)
+	corrupt[3] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		df, err := UnmarshalDataFrame(data)
+		if err != nil {
+			return
+		}
+		// Accepted frames must be internally consistent...
+		if len(df.Payload) > MaxPayload {
+			t.Fatalf("accepted payload of %d bytes", len(df.Payload))
+		}
+		// ...and round-trip to the exact input bytes.
+		out, err := df.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip mismatch:\n in  %x\n out %x", data, out)
+		}
+	})
+}
+
+func FuzzUnmarshalQuery(f *testing.F) {
+	f.Add(Query{Dest: 1, Command: CmdReadSensor, Param: byte(SensorTemperature)}.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := UnmarshalQuery(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(q.Marshal(), data) {
+			t.Fatalf("round trip mismatch for %x", data)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package mac
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FailureClass partitions exchange failures by their physical cause, so
+// the link layer can react differently to a silent channel (back off,
+// the node may be browned out or faded), a corrupted frame (downshift,
+// the link is marginal), and a transport fault (retry elsewhere).
+type FailureClass int
+
+const (
+	// ClassUnknown is an unclassified failure.
+	ClassUnknown FailureClass = iota
+	// ClassNoSync: nothing decodable arrived — no preamble lock, no SNR
+	// measurement. Typical causes: node off/browned out, deep fade,
+	// impulse burst over the preamble.
+	ClassNoSync
+	// ClassCRC: a packet was detected and demodulated but failed its
+	// checksum — the link is alive but marginal.
+	ClassCRC
+	// ClassTimeout: the transport itself errored (hardware fault, node
+	// unpowered, simulation error).
+	ClassTimeout
+	// ClassQuarantined: the session refused to poll a quarantined node.
+	ClassQuarantined
+	// ClassEvicted: the session permanently evicted the node after
+	// persistent failure.
+	ClassEvicted
+)
+
+// String names the failure class.
+func (c FailureClass) String() string {
+	switch c {
+	case ClassNoSync:
+		return "no-sync"
+	case ClassCRC:
+		return "crc-fail"
+	case ClassTimeout:
+		return "timeout"
+	case ClassQuarantined:
+		return "quarantined"
+	case ClassEvicted:
+		return "evicted"
+	default:
+		return "unknown"
+	}
+}
+
+// Sentinel errors for errors.Is matching against ExchangeError classes.
+var (
+	ErrNoSync      = errors.New("mac: no sync")
+	ErrCRC         = errors.New("mac: crc failure")
+	ErrTimeout     = errors.New("mac: transport timeout")
+	ErrQuarantined = errors.New("mac: node quarantined")
+	ErrEvicted     = errors.New("mac: node evicted")
+)
+
+// ExchangeError is the typed failure of a logical poll: which node,
+// how many attempts were burned, and why the last one failed. It
+// supports errors.Is against the class sentinels above and errors.As
+// for field access.
+type ExchangeError struct {
+	// Dest is the node the query addressed.
+	Dest byte
+	// Attempts is the number of exchanges attempted (≥ 1, except for
+	// quarantine/eviction refusals where it is 0).
+	Attempts int
+	// Class is the failure class of the final attempt.
+	Class FailureClass
+	// Err is the underlying error, when the transport produced one.
+	Err error
+}
+
+// Error formats the failure.
+func (e *ExchangeError) Error() string {
+	msg := fmt.Sprintf("mac: exchange with %#02x failed after %d attempts (%v)",
+		e.Dest, e.Attempts, e.Class)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying transport error to errors.Is/As chains.
+func (e *ExchangeError) Unwrap() error { return e.Err }
+
+// Is matches the class sentinels (errors.Is(err, mac.ErrCRC)) and other
+// ExchangeErrors with the same destination and class.
+func (e *ExchangeError) Is(target error) bool {
+	switch target {
+	case ErrNoSync:
+		return e.Class == ClassNoSync
+	case ErrCRC:
+		return e.Class == ClassCRC
+	case ErrTimeout:
+		return e.Class == ClassTimeout
+	case ErrQuarantined:
+		return e.Class == ClassQuarantined
+	case ErrEvicted:
+		return e.Class == ClassEvicted
+	}
+	if o, ok := target.(*ExchangeError); ok {
+		return o.Dest == e.Dest && o.Class == e.Class
+	}
+	return false
+}
+
+// Classify maps one exchange outcome to its failure class, or
+// ClassUnknown for a successful exchange. The receiver keeps an SNR
+// measurement even when the CRC fails (core.Link does exactly this), so
+// a nil reply with positive SNR is a CRC failure while a nil reply with
+// no SNR means nothing was detected at all.
+func Classify(ex Exchange, err error) FailureClass {
+	switch {
+	case err != nil:
+		return ClassTimeout
+	case ex.Reply != nil:
+		return ClassUnknown
+	case ex.SNRLinear > 0:
+		return ClassCRC
+	default:
+		return ClassNoSync
+	}
+}

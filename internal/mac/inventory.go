@@ -29,6 +29,16 @@ type InventoryConfig struct {
 	C float64
 	// MaxRounds bounds the protocol (0 = default 64).
 	MaxRounds int
+	// Responder, when non-nil, reports whether a node participates in
+	// the given round. Browned-out or faded nodes stay silent for a
+	// while and are retried in later rounds — the fault-injection layer
+	// wires the engine's brownout schedule in here.
+	Responder func(addr byte, round int) bool
+	// SlotJam, when non-nil, reports whether ambient impulsive noise
+	// jams the given slot of the given round: a jammed singleton is
+	// undecodable at the reader and is indistinguishable from a
+	// collision, so it feeds the Q adaptation upward.
+	SlotJam func(round, slot int) bool
 }
 
 // DefaultInventoryConfig returns Gen2-like settings.
@@ -98,10 +108,17 @@ func Inventory(nodes []byte, cfg InventoryConfig, rng *rand.Rand) (InventoryResu
 		res.Slots += slots
 		telemetry.Add("mac_inventory_slots_total", int64(slots))
 
-		// Nodes choose slots.
+		// Nodes choose slots. A node that is silent this round (browned
+		// out, faded) still occupies the population but transmits in no
+		// slot. The rng draw happens for every pending node regardless,
+		// so a fault schedule does not perturb the other nodes' choices.
 		choice := make(map[int][]byte, len(pending))
 		for _, addr := range pending {
 			s := rng.Intn(slots)
+			if cfg.Responder != nil && !cfg.Responder(addr, round) {
+				telemetry.Inc("mac_inventory_silent_nodes_total")
+				continue
+			}
 			choice[s] = append(choice[s], addr)
 		}
 
@@ -110,17 +127,22 @@ func Inventory(nodes []byte, cfg InventoryConfig, rng *rand.Rand) (InventoryResu
 		for s := 0; s < slots; s++ {
 			occupants := choice[s]
 			telemetry.ObserveN("mac_inventory_slot_occupancy", telemetry.DefCountBuckets, float64(len(occupants)))
-			switch len(occupants) {
-			case 0:
+			jammed := cfg.SlotJam != nil && cfg.SlotJam(round, s)
+			switch {
+			case len(occupants) == 0:
 				res.Empties++
 				telemetry.Inc("mac_inventory_empty_slots_total")
 				qfp = math.Max(float64(cfg.MinQ), qfp-cfg.C)
-			case 1:
+			case len(occupants) == 1 && !jammed:
 				res.Singletons++
 				telemetry.Inc("mac_inventory_singletons_total")
 				res.Identified = append(res.Identified, occupants[0])
 				identifiedThisRound[occupants[0]] = true
 			default:
+				// A jammed singleton reads as a collision at the reader.
+				if jammed {
+					telemetry.Inc("mac_inventory_jammed_slots_total")
+				}
 				res.Collisions++
 				telemetry.Inc("mac_inventory_collisions_total")
 				qfp = math.Min(float64(cfg.MaxQ), qfp+cfg.C)

@@ -1,0 +1,112 @@
+package mac
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Discovery under injected faults (ISSUE satellite): browned-out nodes
+// that sit out early rounds, jammed slots that masquerade as
+// collisions, and a Q-adaptation convergence regression.
+
+// A node browned out for the first rounds of discovery must still be
+// identified once it recovers.
+func TestInventoryBrownoutMidInventory(t *testing.T) {
+	nodes := addrs(8)
+	cfg := DefaultInventoryConfig()
+	// Nodes 1 and 2 are silent (supercap recharging) until round 3.
+	cfg.Responder = func(addr byte, round int) bool {
+		return addr > 2 || round >= 3
+	}
+	res, err := Inventory(nodes, cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("inventory with brownouts failed: %v", err)
+	}
+	found := make(map[byte]bool, len(res.Identified))
+	for _, a := range res.Identified {
+		found[a] = true
+	}
+	for _, a := range nodes {
+		if !found[a] {
+			t.Errorf("node %d never identified", a)
+		}
+	}
+	if res.Rounds < 4 {
+		t.Errorf("discovery finished in %d rounds, but nodes 1-2 were silent until round 3", res.Rounds)
+	}
+}
+
+// A population that never responds must be reported, not spun on
+// forever.
+func TestInventoryAllSilent(t *testing.T) {
+	cfg := DefaultInventoryConfig()
+	cfg.MaxRounds = 8
+	cfg.Responder = func(byte, int) bool { return false }
+	_, err := Inventory(addrs(4), cfg, rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Fatal("inventory of a silent population reported success")
+	}
+}
+
+// Jammed singleton slots read as collisions: discovery completes anyway
+// and the jamming feeds the Q adaptation rather than corrupting IDs.
+func TestInventoryBurstyJam(t *testing.T) {
+	nodes := addrs(12)
+	cfg := DefaultInventoryConfig()
+	// A noise episode jams every third slot of the first four rounds.
+	cfg.SlotJam = func(round, slot int) bool {
+		return round < 4 && slot%3 == 0
+	}
+	res, err := Inventory(nodes, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("inventory under jamming failed: %v", err)
+	}
+	if len(res.Identified) != len(nodes) {
+		t.Fatalf("identified %d of %d nodes", len(res.Identified), len(nodes))
+	}
+	seen := make(map[byte]bool)
+	for _, a := range res.Identified {
+		if seen[a] {
+			t.Errorf("node %d identified twice", a)
+		}
+		seen[a] = true
+	}
+	// Jamming must cost something relative to a clean run on the same
+	// seed.
+	clean := cfg
+	clean.SlotJam = nil
+	cres, err := Inventory(nodes, clean, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions <= cres.Collisions {
+		t.Errorf("jamming produced %d collisions, clean run %d — jam hook inert?",
+			res.Collisions, cres.Collisions)
+	}
+}
+
+// Q-adaptation convergence regression: for a healthy mid-size
+// population the framed-ALOHA efficiency must stay in a sane band
+// around the 1/e optimum, and the run must be deterministic per seed.
+func TestInventoryQConvergenceRegression(t *testing.T) {
+	nodes := addrs(32)
+	cfg := DefaultInventoryConfig()
+	run := func() InventoryResult {
+		res, err := Inventory(nodes, cfg, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("inventory: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same-seed inventory runs differ")
+	}
+	if eff := a.Efficiency(); eff < 0.15 || eff > 0.5 {
+		t.Errorf("efficiency %.3f outside [0.15, 0.5] (optimum 1/e ≈ 0.368): %+v", eff, a)
+	}
+	if a.Rounds > 20 {
+		t.Errorf("Q adaptation took %d rounds for 32 nodes", a.Rounds)
+	}
+}

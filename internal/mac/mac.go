@@ -32,12 +32,33 @@ type Transport interface {
 
 // Stats accumulates MAC-level counters.
 type Stats struct {
+	// Polls counts logical poll operations (each may burn several
+	// exchanges through ARQ).
+	Polls        int
 	Queries      int
 	Replies      int
 	Failures     int // exchanges that returned no valid frame
 	Retries      int
 	PayloadBytes int
 	Airtime      float64 // seconds
+	// Per-class failure counters (final and intermediate attempts).
+	NoSync   int
+	CRCFails int
+	Timeouts int
+}
+
+// Merge accumulates other into s.
+func (s *Stats) Merge(other Stats) {
+	s.Polls += other.Polls
+	s.Queries += other.Queries
+	s.Replies += other.Replies
+	s.Failures += other.Failures
+	s.Retries += other.Retries
+	s.PayloadBytes += other.PayloadBytes
+	s.Airtime += other.Airtime
+	s.NoSync += other.NoSync
+	s.CRCFails += other.CRCFails
+	s.Timeouts += other.Timeouts
 }
 
 // GoodputBps returns delivered payload bits per second of airtime.
@@ -48,14 +69,26 @@ func (s Stats) GoodputBps() float64 {
 	return float64(s.PayloadBytes*8) / s.Airtime
 }
 
-// DeliveryRate returns the fraction of queries that ultimately yielded a
-// frame.
+// DeliveryRate returns the fraction of logical polls that ultimately
+// yielded a frame. Polls is counted explicitly (one per Poll call)
+// rather than derived as Queries−Retries: the derived form undercounts
+// the denominator when counters from pollers with different retry
+// budgets are merged, letting a fully exhausted retry budget inflate
+// the rate. Hand-assembled Stats without Polls fall back to the
+// derived denominator, clamped so the rate never exceeds 1.
 func (s Stats) DeliveryRate() float64 {
-	attempts := s.Queries - s.Retries
+	attempts := s.Polls
+	if attempts == 0 {
+		attempts = s.Queries - s.Retries
+	}
 	if attempts <= 0 {
 		return 0
 	}
-	return float64(s.Replies) / float64(attempts)
+	rate := float64(s.Replies) / float64(attempts)
+	if rate > 1 {
+		rate = 1
+	}
+	return rate
 }
 
 // Poller drives a Transport with retries.
@@ -83,9 +116,13 @@ func NewPoller(t Transport, maxRetries int) (*Poller, error) {
 func (p *Poller) Stats() Stats { return p.stats }
 
 // Poll performs one logical query with ARQ: the query is retransmitted
-// until a CRC-clean frame arrives or retries are exhausted.
+// until a CRC-clean frame arrives or retries are exhausted. On failure
+// the returned error is a *ExchangeError carrying the destination,
+// attempt count and the failure class of the final attempt.
 func (p *Poller) Poll(q frame.Query) (*frame.DataFrame, error) {
 	var lastErr error
+	lastClass := ClassUnknown
+	p.stats.Polls++
 	for attempt := 0; attempt <= p.MaxRetries; attempt++ {
 		if attempt > 0 {
 			p.stats.Retries++
@@ -96,16 +133,12 @@ func (p *Poller) Poll(q frame.Query) (*frame.DataFrame, error) {
 		ex, err := p.T.Exchange(q)
 		p.stats.Airtime += ex.AirtimeSeconds
 		telemetry.Observe("mac_airtime_seconds", ex.AirtimeSeconds)
-		if err != nil {
+		if ex.Reply == nil || err != nil {
 			p.stats.Failures++
 			telemetry.Inc("mac_failures_total")
+			lastClass = Classify(ex, err)
+			p.countClass(lastClass)
 			lastErr = err
-			continue
-		}
-		if ex.Reply == nil {
-			p.stats.Failures++
-			telemetry.Inc("mac_failures_total")
-			lastErr = fmt.Errorf("mac: no reply to %v", q.Command)
 			continue
 		}
 		p.stats.Replies++
@@ -114,8 +147,22 @@ func (p *Poller) Poll(q frame.Query) (*frame.DataFrame, error) {
 		telemetry.SetLastDecodeRetries(attempt)
 		return ex.Reply, nil
 	}
-	return nil, fmt.Errorf("mac: query %v to %02x failed after %d attempts: %w",
-		q.Command, q.Dest, p.MaxRetries+1, lastErr)
+	return nil, &ExchangeError{Dest: q.Dest, Attempts: p.MaxRetries + 1, Class: lastClass, Err: lastErr}
+}
+
+// countClass records a per-class failure in the stats and telemetry.
+func (p *Poller) countClass(c FailureClass) {
+	switch c {
+	case ClassNoSync:
+		p.stats.NoSync++
+		telemetry.Inc("mac_failures_no_sync_total")
+	case ClassCRC:
+		p.stats.CRCFails++
+		telemetry.Inc("mac_failures_crc_total")
+	case ClassTimeout:
+		p.stats.Timeouts++
+		telemetry.Inc("mac_failures_timeout_total")
+	}
 }
 
 // ReadSensor polls a node for one sensor value.
@@ -275,13 +322,7 @@ func (n *Network) Round(build func(addr byte) frame.Query) map[byte]*frame.DataF
 func (n *Network) Stats() Stats {
 	var total Stats
 	for _, p := range n.pollers {
-		s := p.Stats()
-		total.Queries += s.Queries
-		total.Replies += s.Replies
-		total.Failures += s.Failures
-		total.Retries += s.Retries
-		total.PayloadBytes += s.PayloadBytes
-		total.Airtime += s.Airtime
+		total.Merge(p.Stats())
 	}
 	return total
 }

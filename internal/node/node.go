@@ -54,6 +54,7 @@ type Node struct {
 	energyJ  float64
 	timeOnS  float64
 	batteryJ float64 // remaining assist energy
+	skewPPM  float64 // bit-clock offset from crystal tolerance
 	probe    sensors.PHProbe
 	afe      sensors.AFE
 	adc      sensors.ADC
@@ -107,8 +108,28 @@ func (n *Node) FrontEnd() *RectoPiezo { return n.cfg.FrontEnds[n.active] }
 // State returns the current power state.
 func (n *Node) State() PowerState { return n.state }
 
-// Bitrate returns the divider-quantised backscatter bitrate (bit/s).
-func (n *Node) Bitrate() float64 { return n.bitrate }
+// Bitrate returns the divider-quantised backscatter bitrate (bit/s),
+// including any configured crystal skew.
+func (n *Node) Bitrate() float64 { return n.bitrate * (1 + n.skewPPM*1e-6) }
+
+// SetClockSkewPPM offsets the node's bit clock by ppm parts per million
+// — the crystal-tolerance drift of a cheap battery-free oscillator. The
+// effective backscatter bitrate shifts accordingly, so long frames
+// accumulate timing slip at the receiver. The fault-injection layer
+// drives this hook.
+func (n *Node) SetClockSkewPPM(ppm float64) { n.skewPPM = ppm }
+
+// ClockSkewPPM returns the configured crystal skew.
+func (n *Node) ClockSkewPPM() float64 { return n.skewPPM }
+
+// ForceBrownout drains the supercapacitor below the LDO's power-off
+// threshold, cutting the digital domain immediately — the
+// fault-injection hook for mid-protocol power loss. The node cold-starts
+// again once harvesting recharges the capacitor.
+func (n *Node) ForceBrownout() {
+	n.cfg.Cap.SetVoltage(n.cfg.LDO.PowerOffV * 0.9)
+	n.state = Off
+}
 
 // CapVoltage returns the supercapacitor voltage.
 func (n *Node) CapVoltage() float64 { return n.cfg.Cap.Voltage() }

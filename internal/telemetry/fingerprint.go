@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// CounterFingerprint returns an FNV-1a hash over every counter whose
+// name starts with prefix ("" selects all), folded in sorted-name order
+// as "name=value" pairs. Counters are the deterministic core of a
+// snapshot (gauges and histograms may carry wall-clock durations), so
+// two runs of a seeded simulation must produce identical fingerprints —
+// the bit-reproducibility check the fault-injection layer asserts.
+func (r *Registry) CounterFingerprint(prefix string) uint64 {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, n := range names {
+		fmt.Fprintf(h, "%s=%d\n", n, r.counters[n].Value())
+	}
+	r.mu.RUnlock()
+	return h.Sum64()
+}
+
+// CounterFingerprint hashes the default registry's counters under
+// prefix.
+func CounterFingerprint(prefix string) uint64 {
+	return defaultReg.CounterFingerprint(prefix)
+}
