@@ -20,6 +20,7 @@ import (
 	"pab/internal/cli"
 	"pab/internal/core"
 	"pab/internal/node"
+	"pab/internal/units"
 )
 
 func main() {
@@ -70,7 +71,7 @@ func run(path string, bitrate, carrier float64, gate int) error {
 	// paper footnote 13); decode at the rate the divider actually
 	// produces, not the nominal request.
 	if q, qerr := node.PaperMCU().AchievableBitrate(bitrate); qerr == nil {
-		if q != bitrate {
+		if !units.ApproxEqual(q, bitrate, 1e-12) {
 			fmt.Printf("bitrate %.4g quantised to %.6g bit/s (MCU divider)\n", bitrate, q)
 		}
 		bitrate = q

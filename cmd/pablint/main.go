@@ -1,0 +1,119 @@
+// Command pablint runs the PAB domain lint suite (internal/lint) over
+// the module: determinism, floatcmp, unitsafety, telemetryhygiene and
+// errdiscard — the invariants the paper's reproducibility claims rest
+// on, encoded as machine-checked rules.
+//
+//	go run ./cmd/pablint ./...            # whole module
+//	go run ./cmd/pablint ./internal/...   # one subtree
+//	go run ./cmd/pablint -rules determinism,floatcmp ./...
+//	go run ./cmd/pablint -list            # show the rules
+//	go run ./cmd/pablint -dir internal/lint/testdata/src ./...  # fixtures
+//
+// Exit codes: 0 clean, 1 findings reported, 2 load/usage error.
+// Suppress a finding with "//pablint:ignore <rule> <reason>" on (or
+// directly above) the offending line; see DESIGN.md §11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pab/internal/lint"
+)
+
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	rules := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	list := flag.Bool("list", false, "list available rules and exit")
+	dir := flag.String("dir", ".", "module root to analyze (patterns resolve relative to it)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pablint [-dir root] [-rules r1,r2] [-list] [patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := lint.DefaultConfig()
+	analyzers := lint.Analyzers(cfg)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return exitClean
+	}
+	if *rules != "" {
+		var keep []*lint.Analyzer
+		for _, want := range strings.Split(*rules, ",") {
+			want = strings.TrimSpace(want)
+			found := false
+			for _, a := range analyzers {
+				if a.Name == want {
+					keep = append(keep, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "pablint: unknown rule %q (try -list)\n", want)
+				return exitError
+			}
+		}
+		analyzers = keep
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewModuleLoader(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pablint: %v\n", err)
+		return exitError
+	}
+	seen := make(map[string]bool)
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		paths, err := loader.ModulePackages(pat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pablint: %v\n", err)
+			return exitError
+		}
+		if len(paths) == 0 {
+			fmt.Fprintf(os.Stderr, "pablint: no packages match %q\n", pat)
+			return exitError
+		}
+		for _, p := range paths {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			pkg, err := loader.Load(p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pablint: %v\n", err)
+				return exitError
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	prog := &lint.Program{Pkgs: pkgs, Loader: loader}
+	findings := lint.Run(prog, cfg, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pablint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return exitFindings
+	}
+	return exitClean
+}

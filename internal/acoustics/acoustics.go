@@ -107,21 +107,22 @@ func (m SpreadingModel) exponent() float64 {
 }
 
 // TransmissionLoss returns the one-way transmission loss in dB at range
-// r (m) and frequency f (Hz): TL = k·log10(r) + α·r. Ranges below 1 m
-// return 0 (the source-level reference distance).
-func (w Water) TransmissionLoss(r, f float64, m SpreadingModel) units.DB {
-	if r <= 1 {
+// rangeM (m) and frequency freqHz: TL = k·log10(r) + α·r. Ranges below
+// 1 m return 0 (the source-level reference distance).
+func (w Water) TransmissionLoss(rangeM, freqHz float64, m SpreadingModel) units.DB {
+	if rangeM <= 1 {
 		return 0
 	}
-	spread := m.exponent() * math.Log10(r)
-	absorb := w.AbsorptionDBPerKm(f) * r / 1000
+	spread := m.exponent() * math.Log10(rangeM)
+	absorb := w.AbsorptionDBPerKm(freqHz) * rangeM / 1000
 	return units.DB(spread + absorb)
 }
 
 // PressureAttenuation returns the linear pressure (amplitude) attenuation
-// factor corresponding to the transmission loss at range r and frequency f.
-func (w Water) PressureAttenuation(r, f float64, m SpreadingModel) float64 {
-	return units.DBToAmplitude(-w.TransmissionLoss(r, f, m))
+// factor corresponding to the transmission loss at range rangeM and
+// frequency freqHz.
+func (w Water) PressureAttenuation(rangeM, freqHz float64, m SpreadingModel) float64 {
+	return units.DBToAmplitude(-w.TransmissionLoss(rangeM, freqHz, m))
 }
 
 // SourceLevel converts a projector's radiated acoustic power (W) and
@@ -136,8 +137,8 @@ func SourceLevel(acousticPowerW float64, directivityIndex units.DB) units.DB {
 
 // ReceivedLevel solves the passive sonar equation RL = SL − TL for a
 // one-way path.
-func (w Water) ReceivedLevel(sl units.DB, r, f float64, m SpreadingModel) units.DB {
-	return sl - w.TransmissionLoss(r, f, m)
+func (w Water) ReceivedLevel(sl units.DB, rangeM, freqHz float64, m SpreadingModel) units.DB {
+	return sl - w.TransmissionLoss(rangeM, freqHz, m)
 }
 
 // NoiseConditions parameterises the Wenz ambient-noise model.
@@ -178,20 +179,20 @@ func (nc NoiseConditions) SpectralDensity(f float64) units.DB {
 	return units.PowerToDB(total)
 }
 
-// BandNoiseLevel integrates the noise spectral density over [f1, f2] Hz
+// BandNoiseLevel integrates the noise spectral density over [f1Hz, f2Hz]
 // and returns the in-band noise level in dB re 1 µPa. The integration uses
 // the trapezoid rule over a log-spaced grid.
-func (nc NoiseConditions) BandNoiseLevel(f1, f2 float64) (units.DB, error) {
-	if !(0 < f1 && f1 < f2) {
-		return 0, fmt.Errorf("acoustics: invalid band [%g, %g]", f1, f2)
+func (nc NoiseConditions) BandNoiseLevel(f1Hz, f2Hz float64) (units.DB, error) {
+	if !(0 < f1Hz && f1Hz < f2Hz) {
+		return 0, fmt.Errorf("acoustics: invalid band [%g, %g]", f1Hz, f2Hz)
 	}
 	const steps = 64
-	logStep := (math.Log(f2) - math.Log(f1)) / steps
+	logStep := (math.Log(f2Hz) - math.Log(f1Hz)) / steps
 	total := 0.0
-	prevF := f1
-	prevP := units.DBToPower(nc.SpectralDensity(f1))
+	prevF := f1Hz
+	prevP := units.DBToPower(nc.SpectralDensity(f1Hz))
 	for i := 1; i <= steps; i++ {
-		f := math.Exp(math.Log(f1) + logStep*float64(i))
+		f := math.Exp(math.Log(f1Hz) + logStep*float64(i))
 		p := units.DBToPower(nc.SpectralDensity(f))
 		total += (prevP + p) / 2 * (f - prevF)
 		prevF, prevP = f, p

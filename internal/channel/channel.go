@@ -227,10 +227,10 @@ func (t Tank) Response(src, dst Vec3, fs float64, opt Options) (*ImpulseResponse
 	}
 	sort.Slice(taps, func(i, j int) bool { return taps[i].DelaySeconds < taps[j].DelaySeconds })
 	ir := &ImpulseResponse{Taps: taps, SampleRate: fs}
-	telemetry.Inc("channel_responses_total")
-	telemetry.ObserveN("channel_ir_taps", telemetry.DefCountBuckets, float64(len(taps)))
-	telemetry.ObserveN("channel_ir_images_considered", telemetry.DefCountBuckets, float64(images))
-	telemetry.Observe("channel_ir_max_delay_seconds", ir.MaxDelay())
+	telemetry.Inc(telemetry.MChannelResponsesTotal)
+	telemetry.ObserveN(telemetry.MChannelIrTaps, telemetry.DefCountBuckets, float64(len(taps)))
+	telemetry.ObserveN(telemetry.MChannelIrImagesConsidered, telemetry.DefCountBuckets, float64(images))
+	telemetry.Observe(telemetry.MChannelIrMaxDelaySeconds, ir.MaxDelay())
 	return ir, nil
 }
 
@@ -375,9 +375,9 @@ func AddWhiteNoise(x []float64, rms float64, rng *rand.Rand) {
 }
 
 // AmbientNoiseRMS returns the RMS pressure (Pa) of ambient noise within
-// the receiver's processing band [f1, f2] for the given conditions.
-func AmbientNoiseRMS(nc acoustics.NoiseConditions, f1, f2 float64) (float64, error) {
-	level, err := nc.BandNoiseLevel(f1, f2)
+// the receiver's processing band [f1Hz, f2Hz] for the given conditions.
+func AmbientNoiseRMS(nc acoustics.NoiseConditions, f1Hz, f2Hz float64) (float64, error) {
+	level, err := nc.BandNoiseLevel(f1Hz, f2Hz)
 	if err != nil {
 		return 0, err
 	}

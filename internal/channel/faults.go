@@ -33,7 +33,7 @@ func AddImpulseBurst(y []float64, fs, startS, durS, ampPa float64, rng *rand.Ran
 		added = true
 	}
 	if added {
-		telemetry.Inc("channel_impulse_bursts_total")
+		telemetry.Inc(telemetry.MChannelImpulseBurstsTotal)
 	}
 }
 
@@ -54,6 +54,6 @@ func Clip(y []float64, level float64) int {
 			clipped++
 		}
 	}
-	telemetry.Add("channel_clipped_samples_total", int64(clipped))
+	telemetry.Add(telemetry.MChannelClippedSamplesTotal, int64(clipped))
 	return clipped
 }

@@ -19,16 +19,16 @@ func ResistorZ(ohms float64) Impedance {
 	return complex(ohms, 0)
 }
 
-// InductorZ returns the impedance jωL of an inductor at frequency f (Hz).
-func InductorZ(henries, f float64) Impedance {
-	return complex(0, 2*math.Pi*f*henries)
+// InductorZ returns the impedance jωL of an inductor at frequency freqHz.
+func InductorZ(henries, freqHz float64) Impedance {
+	return complex(0, 2*math.Pi*freqHz*henries)
 }
 
 // CapacitorZ returns the impedance 1/(jωC) of a capacitor at frequency f
 // (Hz). A zero capacitance or frequency yields an open circuit (infinite
 // impedance is represented as a very large real impedance to avoid NaNs).
-func CapacitorZ(farads, f float64) Impedance {
-	w := 2 * math.Pi * f * farads
+func CapacitorZ(farads, freqHz float64) Impedance {
+	w := 2 * math.Pi * freqHz * farads
 	if w == 0 {
 		return complex(1e18, 0)
 	}

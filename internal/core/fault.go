@@ -56,7 +56,7 @@ func (l *Link) applyLevel() {
 	op := l.ladder[l.level]
 	l.cfg.PWMUnit = op.pwmUnit
 	l.cfg.MaxReplyPayload = op.maxPayload
-	telemetry.Set("core_link_level", float64(l.level))
+	telemetry.Set(telemetry.MCoreLinkLevel, float64(l.level))
 }
 
 // Downshift moves one rung toward the robust end — slower downlink PWM,
@@ -67,7 +67,7 @@ func (l *Link) Downshift() bool {
 	}
 	l.level--
 	l.applyLevel()
-	telemetry.Inc("core_link_downshifts_total")
+	telemetry.Inc(telemetry.MCoreLinkDownshiftsTotal)
 	return true
 }
 
@@ -78,7 +78,7 @@ func (l *Link) Upshift() bool {
 	}
 	l.level++
 	l.applyLevel()
-	telemetry.Inc("core_link_upshifts_total")
+	telemetry.Inc(telemetry.MCoreLinkUpshiftsTotal)
 	return true
 }
 

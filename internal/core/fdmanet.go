@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"pab/internal/channel"
 	"pab/internal/frame"
@@ -9,6 +10,7 @@ import (
 	"pab/internal/node"
 	"pab/internal/sensors"
 	"pab/internal/telemetry"
+	"pab/internal/units"
 )
 
 // FDMANode describes one sensor node of a polled network.
@@ -134,7 +136,7 @@ func NewFDMANetwork(cfg FDMANetworkConfig, maxRetries int) (*FDMANetwork, error)
 	if err != nil {
 		return nil, err
 	}
-	telemetry.Set("core_fdma_channels", float64(len(plan)))
+	telemetry.Set(telemetry.MCoreFdmaChannels, float64(len(plan)))
 	return &FDMANetwork{cfg: cfg, plan: plan, links: links, net: net}, nil
 }
 
@@ -147,7 +149,7 @@ func newTunedNode(addr byte, bitrate, tunedHz float64, env sensors.Environment) 
 	}
 	// NewPaperNode carries 15 kHz and 18 kHz circuits; for other
 	// channels rebuild with the assigned tuning.
-	if tunedHz == 15000 {
+	if units.ApproxEqual(tunedHz, 15000, 1e-9) {
 		return n, nil
 	}
 	return buildNodeAt(addr, bitrate, tunedHz, env)
@@ -171,10 +173,16 @@ func (n *FDMANetwork) Plan() []mac.Assignment { return n.plan }
 // Link returns the physical link for one node.
 func (n *FDMANetwork) Link(addr byte) *Link { return n.links[addr] }
 
-// PowerUpAll charges every node; it returns the first failure.
+// PowerUpAll charges every node in address order; it returns the first
+// failure (deterministic: map iteration order must not pick the error).
 func (n *FDMANetwork) PowerUpAll(maxSeconds float64) error {
-	for addr, link := range n.links {
-		if err := link.EnsurePowered(maxSeconds); err != nil {
+	addrs := make([]byte, 0, len(n.links))
+	for addr := range n.links {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		if err := n.links[addr].EnsurePowered(maxSeconds); err != nil {
 			return fmt.Errorf("core: node %02x: %w", addr, err)
 		}
 	}

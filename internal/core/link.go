@@ -230,7 +230,7 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 	sp := telemetry.StartSpan("exchange").
 		Attr("dest", int(q.Dest)).Attr("command", int(q.Command))
 	defer sp.End()
-	telemetry.Inc("core_link_queries_total")
+	telemetry.Inc(telemetry.MCoreLinkQueriesTotal)
 	res := &ExchangeResult{Sent: q, UplinkBER: 1}
 
 	// Uplink budget: preamble + the largest expected frame at the
@@ -266,9 +266,9 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 	decodedQ, err := l.node.DecodeDownlink(nodeEnv, l.cfg.PWMUnit)
 	if err == nil && decodedQ == q {
 		res.NodeDecodedQuery = true
-		telemetry.Inc("core_downlink_decodes_total")
+		telemetry.Inc(telemetry.MCoreDownlinkDecodesTotal)
 	} else {
-		telemetry.Inc("core_downlink_decode_failures_total")
+		telemetry.Inc(telemetry.MCoreDownlinkDecodeFailuresTotal)
 	}
 
 	// 4. Node power bookkeeping over the exchange.
@@ -303,12 +303,12 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 				ulDur := float64(len(states)) / l.cfg.SampleRate
 				if keep, ok := l.fault.TruncationAt(ulStart); ok {
 					states = states[:int(float64(len(states))*keep)]
-					telemetry.Inc("core_fault_truncated_uplinks_total")
+					telemetry.Inc(telemetry.MCoreFaultTruncatedUplinksTotal)
 				}
 				if l.fault.BrownoutDuring(l.node.Addr(), ulStart, ulStart+ulDur) {
 					states = states[:len(states)/2]
 					midFrameBrownout = true
-					telemetry.Inc("core_fault_midframe_brownouts_total")
+					telemetry.Inc(telemetry.MCoreFaultMidframeBrownoutsTotal)
 				}
 			}
 			reflGain := l.node.FrontEnd().ReflectionCoeff(piezo.Reflective, l.cfg.CarrierHz)
@@ -350,11 +350,12 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 	}
 	scattered := l.irNH.Apply(reflected)
 	if l.fault != nil {
+		//pablint:ignore floatcmp UplinkGain returns the exact constant 1 when no fade window covers t
 		if g := l.fault.UplinkGain(l.fault.Now()); g != 1 {
 			for i := range scattered {
 				scattered[i] *= g
 			}
-			telemetry.Inc("core_fault_faded_uplinks_total")
+			telemetry.Inc(telemetry.MCoreFaultFadedUplinksTotal)
 		}
 	}
 	n := max(len(direct), len(scattered))
@@ -399,7 +400,7 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 				res.UplinkBER = ber
 			}
 		}
-		telemetry.ObserveN("core_uplink_ber", berBuckets, res.UplinkBER)
+		telemetry.ObserveN(telemetry.MCoreUplinkBer, berBuckets, res.UplinkBER)
 	}
 	return res, nil
 }

@@ -112,7 +112,7 @@ func RunConcurrent(cfg ConcurrentConfig, nodes [2]*node.Node, proj *projector.Pr
 	sp := telemetry.StartSpan("concurrent_exchange").
 		Attr("carrier0_hz", cfg.Carriers[0]).Attr("carrier1_hz", cfg.Carriers[1])
 	defer sp.End()
-	telemetry.Inc("core_concurrent_runs_total")
+	telemetry.Inc(telemetry.MCoreConcurrentRunsTotal)
 	fs := cfg.SampleRate
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -290,7 +290,7 @@ func RunConcurrent(cfg ConcurrentConfig, nodes [2]*node.Node, proj *projector.Pr
 		return nil, err
 	}
 	res.Condition = h.ConditionNumber()
-	telemetry.Observe("core_concurrent_condition", res.Condition)
+	telemetry.Observe(telemetry.MCoreConcurrentCondition, res.Condition)
 
 	// Payload section.
 	payStart0 := settle + 2*trainLen + delay(0)

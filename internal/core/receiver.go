@@ -212,13 +212,13 @@ func (r *Receiver) DecodeUplinkTraced(parent *telemetry.Span, pressure []float64
 	dec, err := r.decodeUplinkStaged(parent, pressure, carrier, bitrate, searchFrom)
 	rep := telemetry.DecodeReport{CarrierHz: carrier, BitrateBps: bitrate}
 	if err != nil {
-		telemetry.Inc("core_uplink_decode_failures_total")
+		telemetry.Inc(telemetry.MCoreUplinkDecodeFailuresTotal)
 		rep.Error = err.Error()
 		telemetry.RecordDecode(rep)
 		return nil, err
 	}
-	telemetry.Inc("core_uplink_decodes_total")
-	telemetry.ObserveN("core_uplink_snr_db", snrDBBuckets, dec.SNRdB())
+	telemetry.Inc(telemetry.MCoreUplinkDecodesTotal)
+	telemetry.ObserveN(telemetry.MCoreUplinkSnrDb, snrDBBuckets, dec.SNRdB())
 	rep.Decoded = true
 	rep.SlicerSNRdB = dec.SNRdB()
 	rep.SyncPeak = dec.Sync.Score

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"pab/internal/channel"
 	"pab/internal/core"
@@ -90,7 +91,7 @@ func Scaling(cfg ScalingConfig) ([]ScalingRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %d channels: %w", k, err)
 		}
-		row := ScalingRow{Channels: k, BandLowHz: ncfg.BandLow, BandHighHz: ncfg.BandHigh, WorstSNRdB: 1e9}
+		row := ScalingRow{Channels: k, BandLowHz: ncfg.BandLow, BandHighHz: ncfg.BandHigh, WorstSNRdB: math.Inf(1)}
 		if err := net.PowerUpAll(180); err != nil {
 			// A channel too far off resonance cannot power its node —
 			// the paper's scaling limit surfacing as a hard failure.
@@ -124,7 +125,7 @@ func Scaling(cfg ScalingConfig) ([]ScalingRow, error) {
 				row.WorstSNRdB = s
 			}
 		}
-		if row.WorstSNRdB == 1e9 {
+		if math.IsInf(row.WorstSNRdB, 1) {
 			row.WorstSNRdB = 0
 		}
 		s := net.Stats()

@@ -288,12 +288,25 @@ func (e *Engine) TruncationAt(t float64) (float64, bool) {
 	return 0, false
 }
 
+// classMetrics maps every fault class to its registered injection
+// counter, so note never has to compute a metric name at runtime.
+var classMetrics = map[string]telemetry.Name{
+	ClassImpulse:    telemetry.MFaultImpulseInjected,
+	ClassNoiseFloor: telemetry.MFaultNoiseFloorInjected,
+	ClassFade:       telemetry.MFaultFadeInjected,
+	ClassBrownout:   telemetry.MFaultBrownoutInjected,
+	ClassDrift:      telemetry.MFaultClockDriftInjected,
+	ClassClipping:   telemetry.MFaultClippingInjected,
+	ClassTruncation: telemetry.MFaultTruncationInjected,
+	ClassNodeDeath:  telemetry.MFaultNodeDeathInjected,
+}
+
 // note counts a hook firing, both internally (deterministic report) and
 // in the process telemetry so injected faults are distinguishable from
 // organic failures.
 func (e *Engine) note(class string) {
 	e.counts[class]++
-	telemetry.Inc("fault_" + class + "_injected_total")
+	telemetry.Inc(classMetrics[class])
 }
 
 // ClassCount is one fault class's injection count.

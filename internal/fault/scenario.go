@@ -190,6 +190,7 @@ func runAdaptive(p Profile, seed int64, cfg ScenarioConfig, nodes []byte) (Strat
 	for eng.Now() < cfg.DurationS {
 		before := eng.Now()
 		sess.Sweep(buildQuery)
+		//pablint:ignore floatcmp simulated clock only moves via explicit Advance; exact equality detects a stalled sweep
 		if eng.Now() == before {
 			// Every node skipped (quarantined/evicted): idle a beat so
 			// simulated time still advances.

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the fault engine's core promise: inside
+// the deterministic packages, two same-seed runs must be bit-identical.
+// It flags, in those packages only:
+//
+//   - time.Now — wall clock; use an injected clock (mac.Clock,
+//     fault.Engine.Now) instead;
+//   - the global math/rand functions (rand.Float64, rand.Intn, …) —
+//     process-global stream; use rand.New(rand.NewSource(seed));
+//   - map iteration whose per-iteration results flow into the
+//     function's return values — Go randomises map order, so sort the
+//     keys first.
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock, global math/rand and map-order-dependent results in deterministic packages",
+		Run:  runDeterminism,
+	}
+}
+
+// randConstructors are the math/rand functions that do NOT touch the
+// global stream: they build explicitly seeded generators.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !hasPath(pass.Cfg.DeterministicPkgs, pass.Pkg.Path) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDeterministicFunc(pass, fn)
+		}
+	}
+}
+
+func checkDeterministicFunc(pass *Pass, fn *ast.FuncDecl) {
+	returned := returnedObjects(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			path, name, ok := pkgFunc(pass.Pkg, x)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time" && name == "Now":
+				pass.Reportf(x.Pos(), "time.Now in deterministic package %s: inject a clock (mac.Clock / fault.Engine) so same-seed runs stay bit-identical", pass.Pkg.Types.Name())
+			case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
+				pass.Reportf(x.Pos(), "global math/rand.%s in deterministic package %s: draw from an explicitly seeded *rand.Rand instead", name, pass.Pkg.Types.Name())
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, fn, x, returned)
+		}
+		return true
+	})
+}
+
+// returnedObjects collects the objects whose values can leave fn via
+// its results: named result parameters plus every root identifier
+// appearing in a return expression.
+func returnedObjects(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fn.Type.Results == nil {
+		return out
+	}
+	for _, field := range fn.Type.Results.List {
+		for _, name := range field.Names {
+			if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+						out[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// checkMapRange flags `for k, v := range m` over a map when the loop
+// body's effects are order-sensitive AND reach the function's return
+// values: a return inside the loop, an append to a returned slice, or
+// a non-commutative assignment to a returned variable. Writes into
+// maps, pure reads, exact integer accumulation (order-independent) and
+// slices that are sorted after the loop (the canonical fix) are
+// allowed.
+func checkMapRange(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, returned map[types.Object]bool) {
+	t := pass.Pkg.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if rng.Key == nil && rng.Value == nil {
+		// `for range m` binds nothing; only the trip count is visible.
+		return
+	}
+	reported := false
+	report := func(what string) {
+		if reported {
+			return
+		}
+		reported = true
+		pass.Reportf(rng.Pos(), "map iteration order flows into returned values (%s): collect and sort the keys first", what)
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			report("return inside the loop")
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				root := rootIdent(lhs)
+				if root == nil {
+					continue
+				}
+				obj := pass.Pkg.Info.Uses[root]
+				if obj == nil {
+					obj = pass.Pkg.Info.Defs[root]
+				}
+				if obj == nil || !returned[obj] {
+					continue
+				}
+				if orderIndependentWrite(pass, x, i, lhs) {
+					continue
+				}
+				if sortedAfter(pass, fn, rng, obj) {
+					continue
+				}
+				report("assignment to returned variable " + root.Name)
+			}
+		case *ast.IncDecStmt:
+			root := rootIdent(x.X)
+			if root == nil {
+				break
+			}
+			if obj := pass.Pkg.Info.Uses[root]; obj != nil && returned[obj] {
+				if !isIntegerType(pass.Pkg.Info.TypeOf(x.X)) {
+					report("update of returned variable " + root.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortFuncs are the sort/slices entry points whose first argument is
+// the slice being ordered.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether obj is passed to a sort function after
+// the range loop ends — the canonical collect-then-sort idiom, whose
+// result is order-independent by construction.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		path, name, ok := pkgFunc(pass.Pkg, call)
+		if !ok || sortFuncs[path] == nil || !sortFuncs[path][name] {
+			return true
+		}
+		root := rootIdent(call.Args[0])
+		if root != nil && pass.Pkg.Info.Uses[root] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// orderIndependentWrite reports whether the i-th assignment target in
+// stmt cannot observe map iteration order: writes keyed into a map
+// (m[k] = v yields the same map for any order) and exact integer
+// accumulation (+=, -=, |=, &=, ^= on integers commute).
+func orderIndependentWrite(pass *Pass, stmt *ast.AssignStmt, i int, lhs ast.Expr) bool {
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		if t := pass.Pkg.Info.TypeOf(idx.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return true
+			}
+		}
+	}
+	switch stmt.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return isIntegerType(pass.Pkg.Info.TypeOf(lhs))
+	}
+	return false
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDiscardAnalyzer forbids silently dropped errors in the decode/MAC
+// hot path (phy, frame, mac, core, dsp). A swallowed CRC or sync error
+// there doesn't crash anything — it quietly biases the BER and
+// throughput numbers the reproduction reports, which is worse. Flagged:
+//
+//   - a call used as a bare statement whose (last) result is an error;
+//   - an assignment that blanks an error-typed result with `_`.
+//
+// Deferred calls (`defer f.Close()`) and writes into strings.Builder /
+// bytes.Buffer (documented to never fail) are exempt.
+func ErrDiscardAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errdiscard",
+		Doc:  "forbid discarded error returns in the decode/MAC hot path",
+		Run:  runErrDiscard,
+	}
+}
+
+func runErrDiscard(pass *Pass) {
+	if !hasPath(pass.Cfg.HotPathPkgs, pass.Pkg.Path) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := x.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pos, ok := errResult(pass, call); ok && !neverFails(pass, call) {
+					pass.Reportf(call.Pos(), "error result %sdiscarded: handle it or assign it with an explanatory //pablint:ignore", pos)
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" {
+						continue
+					}
+					if t := blankedType(pass, x, i); t != nil && isErrorType(t) {
+						pass.Reportf(id.Pos(), "error result blanked with _: handle it or suppress with an explanatory //pablint:ignore")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// errResult reports whether the call returns an error (alone or as the
+// last element of a tuple). The string return is a human label for the
+// tuple case.
+func errResult(pass *Pass, call *ast.CallExpr) (string, bool) {
+	t := pass.Pkg.Info.TypeOf(call)
+	if t == nil {
+		return "", false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		if rt.Len() > 0 && isErrorType(rt.At(rt.Len()-1).Type()) {
+			return "(with other results) ", true
+		}
+	default:
+		if isErrorType(rt) {
+			return "", true
+		}
+	}
+	return "", false
+}
+
+// blankedType resolves the type flowing into the i-th assignment target
+// for both forms: `a, err := f()` (one call, tuple) and `a, b = x, y`
+// (parallel assignment).
+func blankedType(pass *Pass, stmt *ast.AssignStmt, i int) types.Type {
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		t := pass.Pkg.Info.TypeOf(stmt.Rhs[0])
+		if tup, ok := t.(*types.Tuple); ok && i < tup.Len() {
+			return tup.At(i).Type()
+		}
+		return nil
+	}
+	if i < len(stmt.Rhs) {
+		return pass.Pkg.Info.TypeOf(stmt.Rhs[i])
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// neverFails exempts error returns that are API formality: methods on
+// strings.Builder and bytes.Buffer are documented to never return a
+// non-nil error.
+func neverFails(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s := pass.Pkg.Info.Selections[sel]
+	if s == nil {
+		return false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}

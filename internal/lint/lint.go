@@ -1,0 +1,334 @@
+// Package lint is pablint: a domain-aware static-analysis suite for the
+// PAB reproduction, built only on the standard library's go/ast,
+// go/parser and go/types (the repo stays dependency-free).
+//
+// The Go compiler cannot check the properties the paper's headline
+// numbers rest on — bit-identical same-seed runs, unit-consistent
+// physics, a stable telemetry namespace — so this package encodes them
+// as analyzers, the way large Go codebases ship custom vet passes:
+//
+//   - determinism       — no wall clock, no global math/rand, no
+//     map-iteration-order-dependent results in the deterministic
+//     packages (fault, channel, core, phy, dsp, frame, mac);
+//   - floatcmp          — no raw ==/!= between floats outside approved
+//     epsilon helpers (exact-zero sentinel checks excepted);
+//   - unitsafety        — exported physics functions must not take runs
+//     of adjacent swap-prone bare float64 parameters without
+//     unit-bearing names or internal/units types;
+//   - telemetryhygiene  — metric names are compile-time constants
+//     registered in the telemetry package's name registry;
+//   - errdiscard        — no silently discarded errors in the
+//     decode/MAC hot path.
+//
+// Findings can be suppressed, with a mandatory reason, by a
+// "//pablint:ignore <rules> <reason>" comment on the offending line,
+// on the line directly above it, or — before the package clause — for
+// a whole file. See DESIGN.md §11.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String formats a finding the way compilers do: file:line:col: rule: msg.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Pass is the per-package unit of work handed to an analyzer: one
+// type-checked package plus a sink for findings.
+type Pass struct {
+	Pkg *Package
+	// Prog exposes every package in the run for whole-program rules
+	// (telemetryhygiene's registration check).
+	Prog *Program
+	Cfg  *Config
+
+	fset     *token.FileSet
+	findings *[]Finding
+	rule     string
+}
+
+// Fset returns the file set shared by all packages in the run.
+func (p *Pass) Fset() *token.FileSet { return p.fset }
+
+// Reportf records a finding for the current analyzer at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:  p.fset.Position(pos),
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Program is the whole set of packages in one run.
+type Program struct {
+	Pkgs []*Package
+	// Loader gives whole-program rules access to packages outside the
+	// requested pattern (e.g. the telemetry name registry).
+	Loader *Loader
+}
+
+// Config parameterises the analyzers so the same rules run over the
+// real module and over test fixtures.
+type Config struct {
+	// DeterministicPkgs are import paths whose results must be pure
+	// functions of their seeds (determinism rule).
+	DeterministicPkgs []string
+	// PhysicsPkgs are import paths subject to the unitsafety rule.
+	PhysicsPkgs []string
+	// HotPathPkgs are import paths subject to the errdiscard rule.
+	HotPathPkgs []string
+	// TelemetryPkg is the import path of the metrics registry package;
+	// its exported string-typed constants form the registered metric
+	// namespace.
+	TelemetryPkg string
+	// EpsilonHelpers maps import path -> function names whose bodies
+	// may compare floats exactly (they implement the tolerance).
+	EpsilonHelpers map[string][]string
+}
+
+// DefaultConfig returns the configuration for the pab module itself.
+func DefaultConfig() *Config {
+	return &Config{
+		DeterministicPkgs: []string{
+			"pab/internal/fault",
+			"pab/internal/channel",
+			"pab/internal/core",
+			"pab/internal/phy",
+			"pab/internal/dsp",
+			"pab/internal/frame",
+			"pab/internal/mac",
+		},
+		PhysicsPkgs: []string{
+			"pab/internal/piezo",
+			"pab/internal/channel",
+			"pab/internal/acoustics",
+			"pab/internal/circuit",
+			"pab/internal/rectifier",
+		},
+		HotPathPkgs: []string{
+			"pab/internal/phy",
+			"pab/internal/frame",
+			"pab/internal/mac",
+			"pab/internal/core",
+			"pab/internal/dsp",
+		},
+		TelemetryPkg: "pab/internal/telemetry",
+		EpsilonHelpers: map[string][]string{
+			"pab/internal/units": {"ApproxEqual"},
+			"pab/internal/stats": {"ApproxEqual"},
+		},
+	}
+}
+
+// Analyzers returns the full suite configured by cfg.
+func Analyzers(cfg *Config) []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer(),
+		FloatCmpAnalyzer(),
+		UnitSafetyAnalyzer(),
+		TelemetryHygieneAnalyzer(),
+		ErrDiscardAnalyzer(),
+	}
+}
+
+// hasPath reports whether path is in list.
+func hasPath(list []string, path string) bool {
+	for _, p := range list {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer over every package, applies suppression
+// comments, and returns the surviving findings sorted by position.
+// Malformed suppressions (no reason given) are themselves findings.
+func Run(prog *Program, cfg *Config, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Pkg:      pkg,
+				Prog:     prog,
+				Cfg:      cfg,
+				fset:     prog.Loader.Fset,
+				findings: &raw,
+				rule:     a.Name,
+			}
+			a.Run(pass)
+		}
+	}
+
+	sup, bad := collectSuppressions(prog)
+	var out []Finding
+	for _, f := range raw {
+		if sup.suppresses(f) {
+			continue
+		}
+		out = append(out, f)
+	}
+	out = append(out, bad...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "//pablint:ignore"
+
+// suppressions indexes ignore comments by file.
+type suppressions struct {
+	// line maps file -> line -> rules suppressed on that line.
+	line map[string]map[int][]string
+	// file maps file -> rules suppressed for the whole file.
+	file map[string][]string
+}
+
+func (s *suppressions) suppresses(f Finding) bool {
+	if rules, ok := s.file[f.Pos.Filename]; ok && matchRule(rules, f.Rule) {
+		return true
+	}
+	byLine := s.line[f.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	// A comment suppresses findings on its own line and on the line
+	// directly below it (the usual "comment above the statement" form).
+	if matchRule(byLine[f.Pos.Line], f.Rule) || matchRule(byLine[f.Pos.Line-1], f.Rule) {
+		return true
+	}
+	return false
+}
+
+func matchRule(rules []string, rule string) bool {
+	for _, r := range rules {
+		if r == rule || r == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every file's comments for pablint:ignore
+// directives. A directive without a reason is reported as a finding of
+// rule "suppression" rather than honoured — suppressions must say why.
+func collectSuppressions(prog *Program) (*suppressions, []Finding) {
+	s := &suppressions{
+		line: make(map[string]map[int][]string),
+		file: make(map[string][]string),
+	}
+	var bad []Finding
+	fset := prog.Loader.Fset
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			pkgLine := fset.Position(f.Package).Line
+			fileName := fset.Position(f.Package).Filename
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Finding{
+							Pos:  pos,
+							Rule: "suppression",
+							Msg:  "pablint:ignore needs a rule list and a reason: //pablint:ignore <rule>[,<rule>] <why>",
+						})
+						continue
+					}
+					rules := strings.Split(fields[0], ",")
+					if pos.Line < pkgLine {
+						s.file[fileName] = append(s.file[fileName], rules...)
+						continue
+					}
+					if s.line[fileName] == nil {
+						s.line[fileName] = make(map[int][]string)
+					}
+					s.line[fileName][pos.Line] = append(s.line[fileName][pos.Line], rules...)
+				}
+			}
+		}
+	}
+	return s, bad
+}
+
+// ---------------------------------------------------------------------------
+// Shared AST/type helpers used by several analyzers
+// ---------------------------------------------------------------------------
+
+// pkgFunc resolves a call to (package path, function name) when the
+// callee is a selector on an imported package (time.Now, rand.Intn,
+// telemetry.Inc). ok is false for method calls and locals.
+func pkgFunc(pkg *Package, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	ident, okIdent := sel.X.(*ast.Ident)
+	if !okIdent {
+		return "", "", false
+	}
+	pn, okPkg := pkg.Info.Uses[ident].(*types.PkgName)
+	if !okPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// rootIdent unwraps index/selector/star/paren chains to the base
+// identifier: a.b[i].c -> a. Returns nil when the base is not a plain
+// identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

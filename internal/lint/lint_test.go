@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runFixtures loads the testdata module (which reuses the pab module
+// path so DefaultConfig applies verbatim) and runs the full suite.
+func runFixtures(t *testing.T) ([]Finding, string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := NewModuleLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := ld.ModulePackages("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no fixture packages found")
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := ld.Load(p)
+		if err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	cfg := DefaultConfig()
+	return Run(&Program{Pkgs: pkgs, Loader: ld}, cfg, Analyzers(cfg)), root
+}
+
+// expectation is one parsed `// want "regex"` comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans every fixture file for `// want "re" ["re" ...]`
+// trailing comments; each quoted pattern expects one finding on that
+// line.
+func collectWants(t *testing.T, root string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, spec, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, m := range quotedRe.FindAllStringSubmatch(spec, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", p, i+1, m[1], err)
+				}
+				wants = append(wants, &expectation{file: p, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) == 0 {
+		t.Fatal("no // want expectations found in fixtures")
+	}
+	return wants
+}
+
+// TestGoldenFixtures asserts the suite produces exactly the findings
+// the fixture tree's // want comments declare — no more, no fewer.
+// Suppression-syntax findings are asserted separately.
+func TestGoldenFixtures(t *testing.T) {
+	findings, root := runFixtures(t)
+	wants := collectWants(t, root)
+
+	for _, f := range findings {
+		if f.Rule == "suppression" {
+			continue
+		}
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Msg) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestSuppression asserts both halves of the directive contract: a
+// reasoned //pablint:ignore silences its rule (covered by the golden
+// test: the suppressed line carries no want), and a reason-less one is
+// reported as a finding of rule "suppression" at the directive's line.
+func TestSuppression(t *testing.T) {
+	findings, root := runFixtures(t)
+
+	supFile := filepath.Join(root, "internal", "mac", "suppress.go")
+	data, err := os.ReadFile(supFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badLine := 0
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "//pablint:ignore floatcmp" {
+			badLine = i + 1
+			break
+		}
+	}
+	if badLine == 0 {
+		t.Fatal("reason-less directive not found in suppress.go")
+	}
+
+	var sups []Finding
+	for _, f := range findings {
+		if f.Rule == "suppression" {
+			sups = append(sups, f)
+		}
+	}
+	if len(sups) != 1 {
+		t.Fatalf("want exactly 1 suppression finding, got %d: %v", len(sups), sups)
+	}
+	if sups[0].Pos.Filename != supFile || sups[0].Pos.Line != badLine {
+		t.Errorf("suppression finding at %s:%d, want %s:%d",
+			sups[0].Pos.Filename, sups[0].Pos.Line, supFile, badLine)
+	}
+}
+
+// TestRuleCoverage asserts every analyzer in the suite fires at least
+// once on the fixtures, so a rule that silently stops matching cannot
+// pass the golden test by matching zero wants.
+func TestRuleCoverage(t *testing.T) {
+	findings, _ := runFixtures(t)
+	fired := make(map[string]bool)
+	for _, f := range findings {
+		fired[f.Rule] = true
+	}
+	for _, a := range Analyzers(DefaultConfig()) {
+		if !fired[a.Name] {
+			t.Errorf("rule %s produced no findings on the fixtures", a.Name)
+		}
+	}
+}

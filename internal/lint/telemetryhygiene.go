@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+)
+
+// TelemetryHygieneAnalyzer keeps the metric namespace stable. PR 1's
+// dashboards, fingerprint tests and report diffs key on metric names,
+// so a name that is computed at runtime — or typo'd at one call site —
+// silently forks the namespace. Two checks:
+//
+//  1. every metric-name argument (telemetry.Inc/Add/Set/Observe/
+//     ObserveN/Counter/Gauge/Histogram, and conversions to
+//     telemetry.Name) must be a compile-time constant or already carry
+//     the telemetry.Name type;
+//  2. every constant metric name used anywhere must be registered — a
+//     declared Name constant in the telemetry package — so the
+//     registry in names.go is the single source of truth.
+func TelemetryHygieneAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "telemetryhygiene",
+		Doc:  "metric names must be registered compile-time constants from the telemetry package",
+		Run:  runTelemetryHygiene,
+	}
+}
+
+// metricNameArg maps telemetry entry points to the index of their name
+// parameter.
+var metricNameArg = map[string]int{
+	"Inc": 0, "Add": 0, "Set": 0, "Observe": 0, "ObserveN": 0,
+	"Counter": 0, "Gauge": 0, "Histogram": 0,
+}
+
+func runTelemetryHygiene(pass *Pass) {
+	telPath := pass.Cfg.TelemetryPkg
+	if telPath == "" {
+		return
+	}
+	registered, nameType := registeredMetricNames(pass, telPath)
+	inTelemetry := pass.Pkg.Path == telPath
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Conversions telemetry.Name(x): the only way to mint a
+			// Name from a non-constant string.
+			if nameType != nil && isConversionTo(pass, call, nameType) {
+				arg := call.Args[0]
+				if pass.Pkg.Info.Types[arg].Value == nil {
+					pass.Reportf(call.Pos(), "telemetry.Name conversion from a non-constant expression: metric names must be compile-time constants registered in the telemetry package")
+				}
+				return true
+			}
+			idx, ok := metricCallNameIndex(pass, call, telPath, inTelemetry)
+			if !ok || idx >= len(call.Args) {
+				return true
+			}
+			arg := call.Args[idx]
+			tv := pass.Pkg.Info.Types[arg]
+			if tv.Value == nil {
+				// Not a constant: legal only if it already carries the
+				// Name type (it was minted at a checked site).
+				if nameType == nil || !types.Identical(tv.Type, nameType) {
+					pass.Reportf(arg.Pos(), "non-constant metric name: pass a telemetry.Name constant registered in names.go")
+				}
+				return true
+			}
+			if registered != nil && tv.Value.Kind() == constant.String {
+				name := constant.StringVal(tv.Value)
+				if !registered[name] {
+					pass.Reportf(arg.Pos(), "metric %q is used but not registered in the telemetry name registry (names.go)", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// metricCallNameIndex resolves calls that take a metric name: package
+// functions telemetry.Inc(...) etc., Registry methods r.Inc(...), and —
+// inside the telemetry package itself — the bare functions/methods.
+func metricCallNameIndex(pass *Pass, call *ast.CallExpr, telPath string, inTelemetry bool) (int, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		// Package-level: telemetry.Inc(telemetry.MX)
+		if path, name, ok := pkgFunc(pass.Pkg, call); ok {
+			if path == telPath {
+				idx, ok := metricNameArg[name]
+				return idx, ok
+			}
+			return 0, false
+		}
+		// Method call: r.Inc("x") where r is telemetry.Registry.
+		sel := pass.Pkg.Info.Selections[fun]
+		if sel == nil {
+			return 0, false
+		}
+		recv := sel.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != telPath || named.Obj().Name() != "Registry" {
+			return 0, false
+		}
+		idx, ok := metricNameArg[fun.Sel.Name]
+		return idx, ok
+	case *ast.Ident:
+		if !inTelemetry {
+			return 0, false
+		}
+		idx, ok := metricNameArg[fun.Name]
+		return idx, ok
+	}
+	return 0, false
+}
+
+// isConversionTo reports whether call is a conversion to the given
+// named type.
+func isConversionTo(pass *Pass, call *ast.CallExpr, target types.Type) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	return ok && tv.IsType() && types.Identical(tv.Type, target)
+}
+
+// registeredMetricNames loads the telemetry package and collects the
+// values of its declared Name constants, plus the Name type itself.
+func registeredMetricNames(pass *Pass, telPath string) (map[string]bool, types.Type) {
+	var tel *types.Package
+	for _, p := range pass.Prog.Pkgs {
+		if p.Path == telPath {
+			tel = p.Types
+			break
+		}
+	}
+	if tel == nil {
+		pkg, err := pass.Prog.Loader.Load(telPath)
+		if err != nil {
+			return nil, nil
+		}
+		tel = pkg.Types
+	}
+	var nameType types.Type
+	if obj, ok := tel.Scope().Lookup("Name").(*types.TypeName); ok {
+		nameType = obj.Type()
+	}
+	reg := make(map[string]bool)
+	names := tel.Scope().Names()
+	sort.Strings(names)
+	for _, n := range names {
+		c, ok := tel.Scope().Lookup(n).(*types.Const)
+		if !ok || c.Val().Kind() != constant.String {
+			continue
+		}
+		// Only Name-typed constants register metrics; unrelated string
+		// constants in the package don't.
+		if nameType != nil && !types.Identical(c.Type(), nameType) {
+			continue
+		}
+		reg[constant.StringVal(c.Val())] = true
+	}
+	return reg, nameType
+}

@@ -1,0 +1,3 @@
+module pab
+
+go 1.21

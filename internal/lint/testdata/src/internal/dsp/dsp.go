@@ -1,0 +1,39 @@
+// Package dsp is a floatcmp-rule fixture: raw ==/!= between floats is
+// forbidden outside approved epsilon helpers; exact-zero sentinel
+// checks and constant folds stay legal.
+package dsp
+
+import "pab/internal/units"
+
+// Equal compares floats exactly.
+func Equal(a float64, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// Changed compares floats for inequality.
+func Changed(prev float64, cur float64) bool {
+	return prev != cur // want "floating-point != comparison"
+}
+
+// Level is a named float type; the rule sees through it.
+type Level float64
+
+// SameLevel compares named-float operands.
+func SameLevel(a Level, b Level) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// Active uses the legal exact-zero sentinel idiom ("feature off").
+func Active(gain float64) bool {
+	return gain != 0
+}
+
+// Close goes through the approved helper.
+func Close(a float64, b float64) bool {
+	return units.ApproxEqual(a, b, 1e-9)
+}
+
+// constCheck compares two untyped constants: folds at compile time.
+func constCheck() bool {
+	return 1.5 == 3.0/2.0
+}

@@ -1,0 +1,61 @@
+// Package mac is an errdiscard- and telemetryhygiene-rule fixture: the
+// decode/MAC hot path may not drop errors, and metric names must be
+// registered compile-time constants.
+package mac
+
+import (
+	"errors"
+	"strings"
+
+	"pab/internal/telemetry"
+)
+
+func send() error { return errors.New("mac: fixture send") }
+
+func decode() (int, error) { return 0, errors.New("mac: fixture decode") }
+
+// Drop discards an error-only result as a bare statement.
+func Drop() {
+	send() // want "error result discarded"
+}
+
+// Blank blanks the error half of a tuple.
+func Blank() int {
+	n, _ := decode() // want "error result blanked with _"
+	return n
+}
+
+// Handle does it right.
+func Handle() (int, error) {
+	if err := send(); err != nil {
+		return 0, err
+	}
+	return decode()
+}
+
+// Describe writes into a strings.Builder, documented to never fail.
+func Describe() string {
+	var sb strings.Builder
+	sb.WriteString("mac")
+	return sb.String()
+}
+
+// Count increments a registered constant metric: legal.
+func Count() {
+	telemetry.Inc(telemetry.MGoodTotal)
+}
+
+// CountRogue uses a constant name that is not in the registry.
+func CountRogue() {
+	telemetry.Inc("rogue_total") // want "not registered in the telemetry name registry"
+}
+
+// CountDynamic mints a Name from a runtime string.
+func CountDynamic(suffix string) {
+	telemetry.Inc(telemetry.Name("mac_" + suffix)) // want "telemetry.Name conversion from a non-constant expression"
+}
+
+// CountRegistry exercises the method form with a non-constant name.
+func CountRegistry(r *telemetry.Registry, name telemetry.Name) {
+	r.Inc(name) // a checked Name value: legal
+}

@@ -1,0 +1,15 @@
+// Suppression fixtures: a well-formed pablint:ignore silences its rule,
+// a reason-less one is itself a finding (and silences nothing).
+package mac
+
+// SameRate compares floats under an explicit, reasoned suppression.
+func SameRate(a float64, b float64) bool {
+	//pablint:ignore floatcmp fixture: rates are exact divider outputs, equality is intentional
+	return a == b
+}
+
+// SameGain tries to suppress without saying why.
+func SameGain(a float64, b float64) bool {
+	//pablint:ignore floatcmp
+	return a == b // want "floating-point == comparison"
+}

@@ -1,0 +1,29 @@
+// Package piezo is a unitsafety-rule fixture: exported physics
+// functions must not take runs of adjacent swap-prone bare float64
+// parameters without unit-bearing names.
+package piezo
+
+// Pressure takes two adjacent bare floats with unit-less names.
+func Pressure(drive float64, freq float64) float64 { // want "adjacent bare float64 parameters are swap-prone"
+	return drive * freq
+}
+
+// PressureAt names every parameter with its unit: legal.
+func PressureAt(driveVolts float64, freqHz float64) float64 {
+	return driveVolts * freqHz
+}
+
+// Impedance mixes grouped declarations; the run spans the whole list.
+func Impedance(r, x float64, q float64) float64 { // want "adjacent bare float64 parameters are swap-prone"
+	return r + x + q
+}
+
+// Gain has a single bare float: no adjacent pair, no swap risk.
+func Gain(scale float64) float64 {
+	return scale
+}
+
+// helper is unexported: callers inside the package own both ends.
+func helper(a float64, b float64) float64 {
+	return a - b
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UnitSafetyAnalyzer guards the physics packages' APIs against silent
+// argument swaps. The piezo/channel/acoustics/circuit/rectifier layers
+// move between Hz, kHz, Pa, volts, ohms, metres and seconds, and a call
+// like f(1e5, 0.02) type-checks no matter which order the caller meant.
+// The rule: an exported function (or method) in a physics package may
+// not declare a run of two or more ADJACENT bare float64 parameters
+// unless every parameter in the run carries a unit-bearing name (fs,
+// freqHz, ampPa, durS, rLoadOhm, …) or a type from internal/units.
+func UnitSafetyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "unitsafety",
+		Doc:  "exported physics functions must not take adjacent swap-prone bare float64 params without unit-bearing names",
+		Run:  runUnitSafety,
+	}
+}
+
+// unitSuffixes are the lower-cased name endings accepted as
+// unit-bearing. Dimensionless-but-meaningful endings (ratio, frac, q,
+// coeff, gain) count: they name the quantity, which is what prevents a
+// swap.
+var unitSuffixes = []string{
+	// frequency / time
+	"hz", "khz", "mhz", "s", "sec", "secs", "ms", "us", "ns", "ppm",
+	"frequency", "duration",
+	// pressure / acoustics
+	"pa", "upa", "db", "dbm", "spl", "snr", "pressure",
+	// geometry
+	"m", "km", "cm", "mm", "rad", "deg", "distance", "depth",
+	// electrical ("f" alone is deliberately absent: farads or frequency?)
+	"v", "mv", "a", "ma", "ohm", "ohms", "nf", "uf", "pf", "w", "mw", "j",
+	"volts", "amps", "watts", "joules", "farads", "farad", "henries", "henry",
+	"voltage", "current", "resistance", "capacitance", "inductance",
+	"power", "energy",
+	// dimensionless-but-named quantities
+	"ratio", "frac", "fraction", "coeff", "gain", "q", "factor", "pct",
+	"ber", "bps", "baud", "temp", "c", "k", "rms", "norm", "scale", "level",
+}
+
+// unitWholeNames are short conventional names accepted as-is.
+var unitWholeNames = map[string]bool{
+	"fs": true, // sampling rate, Hz — ubiquitous DSP convention
+}
+
+func runUnitSafety(pass *Pass) {
+	if !hasPath(pass.Cfg.PhysicsPkgs, pass.Pkg.Path) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !fn.Name.IsExported() || fn.Type.Params == nil {
+				continue
+			}
+			checkParamRuns(pass, fn)
+		}
+	}
+}
+
+// checkParamRuns flattens the parameter list and flags maximal runs of
+// ≥2 adjacent bare-float64 parameters containing any unit-less name.
+func checkParamRuns(pass *Pass, fn *ast.FuncDecl) {
+	type param struct {
+		name *ast.Ident
+		bare bool
+	}
+	var flat []param
+	for _, field := range fn.Type.Params.List {
+		bare := isBareFloat64(pass, field.Type)
+		if len(field.Names) == 0 {
+			flat = append(flat, param{nil, bare})
+			continue
+		}
+		for _, name := range field.Names {
+			flat = append(flat, param{name, bare})
+		}
+	}
+	for i := 0; i < len(flat); {
+		if !flat[i].bare {
+			i++
+			continue
+		}
+		j := i
+		for j < len(flat) && flat[j].bare {
+			j++
+		}
+		if j-i >= 2 {
+			var nameless []string
+			for _, p := range flat[i:j] {
+				if p.name == nil {
+					nameless = append(nameless, "_")
+				} else if !unitBearing(p.name.Name) {
+					nameless = append(nameless, p.name.Name)
+				}
+			}
+			if len(nameless) > 0 {
+				pass.Reportf(fn.Name.Pos(),
+					"%s: adjacent bare float64 parameters are swap-prone and %s carry no unit; add a unit suffix (…Hz/…Pa/…S/…Ohm) or use internal/units types",
+					fn.Name.Name, strings.Join(nameless, ", "))
+			}
+		}
+		i = j
+	}
+}
+
+// isBareFloat64 reports whether the parameter type is literally float64
+// — named wrappers (units.DB) and non-float types break a run.
+func isBareFloat64(pass *Pass, e ast.Expr) bool {
+	t := pass.Pkg.Info.TypeOf(e)
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+// unitBearing reports whether a parameter name encodes its unit or
+// quantity: an accepted whole name, or a recognised suffix preceded by
+// a camelCase boundary (freqHz, ampPa, durS) — or the name itself being
+// exactly the unit (hz, q).
+func unitBearing(name string) bool {
+	if unitWholeNames[name] {
+		return true
+	}
+	lower := strings.ToLower(name)
+	for _, suf := range unitSuffixes {
+		if lower == suf {
+			return true
+		}
+		if !strings.HasSuffix(lower, suf) {
+			continue
+		}
+		// Require a case or underscore boundary before the suffix so
+		// e.g. "gains" doesn't match "s" by accident via "ns" … it
+		// would via "s"; the boundary check rejects it.
+		boundary := len(name) - len(suf)
+		if name[boundary-1] == '_' {
+			return true
+		}
+		if name[boundary] >= 'A' && name[boundary] <= 'Z' {
+			return true
+		}
+	}
+	return false
+}

@@ -95,7 +95,7 @@ func Inventory(nodes []byte, cfg InventoryConfig, rng *rand.Rand) (InventoryResu
 		sp := telemetry.StartSpan("mac_inventory_round").
 			Attr("round", res.Rounds).Attr("pending", len(pending))
 		res.Rounds++
-		telemetry.Inc("mac_inventory_rounds_total")
+		telemetry.Inc(telemetry.MMacInventoryRoundsTotal)
 		q := int(math.Round(qfp))
 		if q < cfg.MinQ {
 			q = cfg.MinQ
@@ -103,10 +103,10 @@ func Inventory(nodes []byte, cfg InventoryConfig, rng *rand.Rand) (InventoryResu
 		if q > cfg.MaxQ {
 			q = cfg.MaxQ
 		}
-		telemetry.Set("mac_inventory_q", float64(q))
+		telemetry.Set(telemetry.MMacInventoryQ, float64(q))
 		slots := 1 << uint(q)
 		res.Slots += slots
-		telemetry.Add("mac_inventory_slots_total", int64(slots))
+		telemetry.Add(telemetry.MMacInventorySlotsTotal, int64(slots))
 
 		// Nodes choose slots. A node that is silent this round (browned
 		// out, faded) still occupies the population but transmits in no
@@ -116,7 +116,7 @@ func Inventory(nodes []byte, cfg InventoryConfig, rng *rand.Rand) (InventoryResu
 		for _, addr := range pending {
 			s := rng.Intn(slots)
 			if cfg.Responder != nil && !cfg.Responder(addr, round) {
-				telemetry.Inc("mac_inventory_silent_nodes_total")
+				telemetry.Inc(telemetry.MMacInventorySilentNodesTotal)
 				continue
 			}
 			choice[s] = append(choice[s], addr)
@@ -126,25 +126,25 @@ func Inventory(nodes []byte, cfg InventoryConfig, rng *rand.Rand) (InventoryResu
 		identifiedThisRound := make(map[byte]bool)
 		for s := 0; s < slots; s++ {
 			occupants := choice[s]
-			telemetry.ObserveN("mac_inventory_slot_occupancy", telemetry.DefCountBuckets, float64(len(occupants)))
+			telemetry.ObserveN(telemetry.MMacInventorySlotOccupancy, telemetry.DefCountBuckets, float64(len(occupants)))
 			jammed := cfg.SlotJam != nil && cfg.SlotJam(round, s)
 			switch {
 			case len(occupants) == 0:
 				res.Empties++
-				telemetry.Inc("mac_inventory_empty_slots_total")
+				telemetry.Inc(telemetry.MMacInventoryEmptySlotsTotal)
 				qfp = math.Max(float64(cfg.MinQ), qfp-cfg.C)
 			case len(occupants) == 1 && !jammed:
 				res.Singletons++
-				telemetry.Inc("mac_inventory_singletons_total")
+				telemetry.Inc(telemetry.MMacInventorySingletonsTotal)
 				res.Identified = append(res.Identified, occupants[0])
 				identifiedThisRound[occupants[0]] = true
 			default:
 				// A jammed singleton reads as a collision at the reader.
 				if jammed {
-					telemetry.Inc("mac_inventory_jammed_slots_total")
+					telemetry.Inc(telemetry.MMacInventoryJammedSlotsTotal)
 				}
 				res.Collisions++
-				telemetry.Inc("mac_inventory_collisions_total")
+				telemetry.Inc(telemetry.MMacInventoryCollisionsTotal)
 				qfp = math.Min(float64(cfg.MaxQ), qfp+cfg.C)
 			}
 		}

@@ -126,16 +126,16 @@ func (p *Poller) Poll(q frame.Query) (*frame.DataFrame, error) {
 	for attempt := 0; attempt <= p.MaxRetries; attempt++ {
 		if attempt > 0 {
 			p.stats.Retries++
-			telemetry.Inc("mac_retries_total")
+			telemetry.Inc(telemetry.MMacRetriesTotal)
 		}
 		p.stats.Queries++
-		telemetry.Inc("mac_queries_total")
+		telemetry.Inc(telemetry.MMacQueriesTotal)
 		ex, err := p.T.Exchange(q)
 		p.stats.Airtime += ex.AirtimeSeconds
-		telemetry.Observe("mac_airtime_seconds", ex.AirtimeSeconds)
+		telemetry.Observe(telemetry.MMacAirtimeSeconds, ex.AirtimeSeconds)
 		if ex.Reply == nil || err != nil {
 			p.stats.Failures++
-			telemetry.Inc("mac_failures_total")
+			telemetry.Inc(telemetry.MMacFailuresTotal)
 			lastClass = Classify(ex, err)
 			p.countClass(lastClass)
 			lastErr = err
@@ -143,7 +143,7 @@ func (p *Poller) Poll(q frame.Query) (*frame.DataFrame, error) {
 		}
 		p.stats.Replies++
 		p.stats.PayloadBytes += len(ex.Reply.Payload)
-		telemetry.Inc("mac_replies_total")
+		telemetry.Inc(telemetry.MMacRepliesTotal)
 		telemetry.SetLastDecodeRetries(attempt)
 		return ex.Reply, nil
 	}
@@ -155,13 +155,13 @@ func (p *Poller) countClass(c FailureClass) {
 	switch c {
 	case ClassNoSync:
 		p.stats.NoSync++
-		telemetry.Inc("mac_failures_no_sync_total")
+		telemetry.Inc(telemetry.MMacFailuresNoSyncTotal)
 	case ClassCRC:
 		p.stats.CRCFails++
-		telemetry.Inc("mac_failures_crc_total")
+		telemetry.Inc(telemetry.MMacFailuresCrcTotal)
 	case ClassTimeout:
 		p.stats.Timeouts++
-		telemetry.Inc("mac_failures_timeout_total")
+		telemetry.Inc(telemetry.MMacFailuresTimeoutTotal)
 	}
 }
 
@@ -287,15 +287,19 @@ func NewNetwork(transports map[byte]Transport, maxRetries int) (*Network, error)
 		return nil, fmt.Errorf("mac: no transports")
 	}
 	n := &Network{pollers: make(map[byte]*Poller, len(transports))}
-	for addr, tr := range transports {
-		p, err := NewPoller(tr, maxRetries)
+	for addr := range transports {
+		n.order = append(n.order, addr)
+	}
+	sort.Slice(n.order, func(a, b int) bool { return n.order[a] < n.order[b] })
+	// Build pollers in address order so the first failure is the same
+	// one on every run.
+	for _, addr := range n.order {
+		p, err := NewPoller(transports[addr], maxRetries)
 		if err != nil {
 			return nil, err
 		}
 		n.pollers[addr] = p
-		n.order = append(n.order, addr)
 	}
-	sort.Slice(n.order, func(a, b int) bool { return n.order[a] < n.order[b] })
 	return n, nil
 }
 
@@ -305,7 +309,7 @@ func NewNetwork(transports map[byte]Transport, maxRetries int) (*Network, error)
 func (n *Network) Round(build func(addr byte) frame.Query) map[byte]*frame.DataFrame {
 	sp := telemetry.StartSpan("mac_round")
 	defer sp.End()
-	telemetry.Inc("mac_rounds_total")
+	telemetry.Inc(telemetry.MMacRoundsTotal)
 	out := make(map[byte]*frame.DataFrame, len(n.order))
 	for _, addr := range n.order {
 		reply, err := n.pollers[addr].Poll(build(addr))

@@ -192,7 +192,14 @@ func NewSession(transports map[byte]Transport, cfg SessionConfig, clk Clock) (*S
 		rates:      make(map[byte]RateControl),
 		health:     make(map[byte]*NodeHealth, len(transports)),
 	}
-	for addr, tr := range transports {
+	for addr := range transports {
+		s.order = append(s.order, addr)
+	}
+	sort.Slice(s.order, func(a, b int) bool { return s.order[a] < s.order[b] })
+	// Validate in address order so the reported nil transport is the
+	// same one on every run.
+	for _, addr := range s.order {
+		tr := transports[addr]
 		if tr == nil {
 			return nil, fmt.Errorf("mac: nil transport for %#02x", addr)
 		}
@@ -201,9 +208,7 @@ func NewSession(transports map[byte]Transport, cfg SessionConfig, clk Clock) (*S
 			s.rates[addr] = rc
 		}
 		s.health[addr] = &NodeHealth{Addr: addr, failingSince: math.NaN()}
-		s.order = append(s.order, addr)
 	}
-	sort.Slice(s.order, func(a, b int) bool { return s.order[a] < s.order[b] })
 	return s, nil
 }
 
@@ -248,7 +253,7 @@ func (s *Session) Poll(q frame.Query) (*frame.DataFrame, error) {
 	}
 	if h.Quarantined && s.clk.Now() < h.QuarantineUntil {
 		s.stats.SkippedPolls++
-		telemetry.Inc("mac_session_skipped_polls_total")
+		telemetry.Inc(telemetry.MMacSessionSkippedPollsTotal)
 		return nil, &ExchangeError{Dest: q.Dest, Class: ClassQuarantined}
 	}
 	probing := h.Quarantined
@@ -265,7 +270,7 @@ func (s *Session) Poll(q frame.Query) (*frame.DataFrame, error) {
 	}
 
 	s.stats.Polls++
-	telemetry.Inc("mac_session_polls_total")
+	telemetry.Inc(telemetry.MMacSessionPollsTotal)
 	var lastErr error
 	lastClass := ClassUnknown
 	attempts := s.cfg.MaxAttempts
@@ -275,23 +280,23 @@ func (s *Session) Poll(q frame.Query) (*frame.DataFrame, error) {
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			s.stats.Retries++
-			telemetry.Inc("mac_retries_total")
+			telemetry.Inc(telemetry.MMacRetriesTotal)
 			s.backoff(attempt)
 		}
 		s.stats.Queries++
-		telemetry.Inc("mac_queries_total")
+		telemetry.Inc(telemetry.MMacQueriesTotal)
 		ex, err := tr.Exchange(q)
 		s.stats.Airtime += ex.AirtimeSeconds
-		telemetry.Observe("mac_airtime_seconds", ex.AirtimeSeconds)
+		telemetry.Observe(telemetry.MMacAirtimeSeconds, ex.AirtimeSeconds)
 		if ex.Reply != nil && err == nil {
 			s.stats.Replies++
 			s.stats.PayloadBytes += len(ex.Reply.Payload)
-			telemetry.Inc("mac_replies_total")
+			telemetry.Inc(telemetry.MMacRepliesTotal)
 			s.noteSuccess(h)
 			return ex.Reply, nil
 		}
 		s.stats.Failures++
-		telemetry.Inc("mac_failures_total")
+		telemetry.Inc(telemetry.MMacFailuresTotal)
 		lastClass = Classify(ex, err)
 		s.countClass(lastClass)
 		lastErr = err
@@ -313,7 +318,7 @@ func (s *Session) ReadSensor(dest byte, sensor frame.SensorID) (*frame.DataFrame
 func (s *Session) Sweep(build func(addr byte) frame.Query) map[byte]*frame.DataFrame {
 	sp := telemetry.StartSpan("mac_session_sweep")
 	defer sp.End()
-	telemetry.Inc("mac_session_sweeps_total")
+	telemetry.Inc(telemetry.MMacSessionSweepsTotal)
 	out := make(map[byte]*frame.DataFrame, len(s.order))
 	for _, addr := range s.order {
 		h := s.health[addr]
@@ -340,7 +345,7 @@ func (s *Session) backoff(attempt int) {
 	}
 	wait *= 0.75 + 0.5*s.rng.Float64()
 	s.stats.BackoffSeconds += wait
-	telemetry.Observe("mac_session_backoff_seconds", wait)
+	telemetry.Observe(telemetry.MMacSessionBackoffSeconds, wait)
 	s.clk.Sleep(wait)
 }
 
@@ -351,7 +356,7 @@ func (s *Session) noteSuccess(h *NodeHealth) {
 		if lat >= 0 {
 			s.stats.Recoveries++
 			s.stats.RecoveryLatencyS += lat
-			telemetry.Observe("mac_session_recovery_seconds", lat)
+			telemetry.Observe(telemetry.MMacSessionRecoverySeconds, lat)
 		}
 		h.failingSince = math.NaN()
 	}
@@ -359,7 +364,7 @@ func (s *Session) noteSuccess(h *NodeHealth) {
 	h.FailedProbes = 0
 	if h.Quarantined {
 		h.Quarantined = false
-		telemetry.Inc("mac_session_rehabilitations_total")
+		telemetry.Inc(telemetry.MMacSessionRehabilitationsTotal)
 	}
 	if h.parkedRungs > 0 {
 		if rc := s.rates[h.Addr]; rc != nil {
@@ -374,7 +379,7 @@ func (s *Session) noteSuccess(h *NodeHealth) {
 	if rc := s.rates[h.Addr]; rc != nil && h.cleanStreak >= s.cfg.UpshiftAfter {
 		if rc.Upshift() {
 			s.stats.Upshifts++
-			telemetry.Inc("mac_session_upshifts_total")
+			telemetry.Inc(telemetry.MMacSessionUpshiftsTotal)
 		}
 		h.cleanStreak = 0
 	}
@@ -393,7 +398,7 @@ func (s *Session) noteAttemptFailure(h *NodeHealth, class FailureClass) {
 	if rc := s.rates[h.Addr]; rc != nil && h.crcStreak >= s.cfg.DownshiftAfter {
 		if rc.Downshift() {
 			s.stats.Downshifts++
-			telemetry.Inc("mac_session_downshifts_total")
+			telemetry.Inc(telemetry.MMacSessionDownshiftsTotal)
 		}
 		h.crcStreak = 0
 	}
@@ -409,7 +414,7 @@ func (s *Session) notePollFailure(h *NodeHealth, probing bool) {
 			h.Evicted = true
 			h.Quarantined = false
 			s.stats.Evictions++
-			telemetry.Inc("mac_session_evictions_total")
+			telemetry.Inc(telemetry.MMacSessionEvictionsTotal)
 			return
 		}
 		h.QuarantineUntil = s.clk.Now() + s.cfg.QuarantineS
@@ -419,7 +424,7 @@ func (s *Session) notePollFailure(h *NodeHealth, probing bool) {
 		h.Quarantined = true
 		h.QuarantineUntil = s.clk.Now() + s.cfg.QuarantineS
 		s.stats.Quarantines++
-		telemetry.Inc("mac_session_quarantines_total")
+		telemetry.Inc(telemetry.MMacSessionQuarantinesTotal)
 	}
 }
 
@@ -428,12 +433,12 @@ func (s *Session) countClass(c FailureClass) {
 	switch c {
 	case ClassNoSync:
 		s.stats.NoSync++
-		telemetry.Inc("mac_failures_no_sync_total")
+		telemetry.Inc(telemetry.MMacFailuresNoSyncTotal)
 	case ClassCRC:
 		s.stats.CRCFails++
-		telemetry.Inc("mac_failures_crc_total")
+		telemetry.Inc(telemetry.MMacFailuresCrcTotal)
 	case ClassTimeout:
 		s.stats.Timeouts++
-		telemetry.Inc("mac_failures_timeout_total")
+		telemetry.Inc(telemetry.MMacFailuresTimeoutTotal)
 	}
 }

@@ -70,8 +70,8 @@ func Despread(chips []float64, code []float64, nbits int) ([]Bit, error) {
 	if nbits <= 0 {
 		return nil, fmt.Errorf("phy: chip stream shorter than one bit")
 	}
-	telemetry.Inc("phy_cdma_despreads_total")
-	telemetry.Add("phy_cdma_bits_total", int64(nbits))
+	telemetry.Inc(telemetry.MPhyCdmaDespreadsTotal)
+	telemetry.Add(telemetry.MPhyCdmaBitsTotal, int64(nbits))
 	bits := make([]Bit, nbits)
 	for i := 0; i < nbits; i++ {
 		var corr float64
@@ -124,8 +124,8 @@ func DespreadSoft(chips []float64, code []float64, nbits int) ([]float64, error)
 	if nbits <= 0 {
 		return nil, fmt.Errorf("phy: chip stream shorter than one bit")
 	}
-	telemetry.Inc("phy_cdma_despreads_total")
-	telemetry.Add("phy_cdma_bits_total", int64(nbits))
+	telemetry.Inc(telemetry.MPhyCdmaDespreadsTotal)
+	telemetry.Add(telemetry.MPhyCdmaBitsTotal, int64(nbits))
 	out := make([]float64, nbits)
 	norm := 1 / math.Sqrt(float64(len(code)))
 	for i := 0; i < nbits; i++ {

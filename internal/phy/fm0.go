@@ -73,8 +73,8 @@ func (m *FM0) DecodeFrom(wave []float64, nbits int, prevLevel float64) ([]Bit, f
 	if max := len(wave) / m.SamplesPerBit; nbits > max {
 		nbits = max
 	}
-	telemetry.Inc("phy_fm0_decodes_total")
-	telemetry.Add("phy_fm0_bits_total", int64(nbits))
+	telemetry.Inc(telemetry.MPhyFm0DecodesTotal)
+	telemetry.Add(telemetry.MPhyFm0BitsTotal, int64(nbits))
 	half := m.SamplesPerBit / 2
 	mid := meanOf(wave[:nbits*m.SamplesPerBit])
 
@@ -99,6 +99,7 @@ func (m *FM0) DecodeFrom(wave []float64, nbits int, prevLevel float64) ([]Bit, f
 		var next [2]float64
 		next[0], next[1] = -neg, -neg
 		for s, lv := range [2]float64{1, -1} {
+			//pablint:ignore floatcmp -MaxFloat64 is the exact unreachable-state sentinel this metric was initialised to
 			if metric[s] == -neg {
 				continue
 			}

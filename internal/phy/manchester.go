@@ -57,8 +57,8 @@ func (m *Manchester) Decode(wave []float64, nbits int) []Bit {
 	if max := len(wave) / m.SamplesPerBit; nbits > max {
 		nbits = max
 	}
-	telemetry.Inc("phy_manchester_decodes_total")
-	telemetry.Add("phy_manchester_bits_total", int64(nbits))
+	telemetry.Inc(telemetry.MPhyManchesterDecodesTotal)
+	telemetry.Add(telemetry.MPhyManchesterBitsTotal, int64(nbits))
 	half := m.SamplesPerBit / 2
 	bits := make([]Bit, nbits)
 	for i := 0; i < nbits; i++ {

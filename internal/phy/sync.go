@@ -110,13 +110,13 @@ func DetectPacketCandidates(wave []float64, m *FM0, threshold float64, maxK, min
 		}
 	}
 	if len(out) == 0 {
-		telemetry.Inc("phy_sync_misses_total")
+		telemetry.Inc(telemetry.MPhySyncMissesTotal)
 		_, best := dsp.ArgMaxAbs(corr)
 		return nil, fmt.Errorf("phy: no preamble found (best %.3f < threshold %.3f)", math.Abs(best), threshold)
 	}
-	telemetry.Inc("phy_sync_detects_total")
-	telemetry.ObserveN("phy_sync_candidates", telemetry.DefCountBuckets, float64(len(out)))
-	telemetry.ObserveN("phy_sync_peak", syncPeakBuckets, out[0].Score)
+	telemetry.Inc(telemetry.MPhySyncDetectsTotal)
+	telemetry.ObserveN(telemetry.MPhySyncCandidates, telemetry.DefCountBuckets, float64(len(out)))
+	telemetry.ObserveN(telemetry.MPhySyncPeak, syncPeakBuckets, out[0].Score)
 	return out, nil
 }
 

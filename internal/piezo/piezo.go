@@ -217,17 +217,17 @@ func (t *Transducer) GeometricResponse(f float64) float64 {
 
 // TransmitPressure returns the acoustic pressure amplitude (Pa at 1 m) a
 // projector built from this transducer radiates when driven with a
-// sinusoid of amplitude driveVolts at frequency f (paper §3.1:
+// sinusoid of amplitude driveVolts at frequency freqHz (paper §3.1:
 // P = αV·sin(2πft+φ)).
-func (t *Transducer) TransmitPressure(driveVolts, f float64) float64 {
-	return t.design.TransmitResponse * driveVolts * t.GeometricResponse(f)
+func (t *Transducer) TransmitPressure(driveVolts, freqHz float64) float64 {
+	return t.design.TransmitResponse * driveVolts * t.GeometricResponse(freqHz)
 }
 
 // OpenCircuitVoltage returns the amplitude of the voltage the transducer
 // develops across open terminals for an incident pressure amplitude
-// (Pa) at frequency f.
-func (t *Transducer) OpenCircuitVoltage(pressureAmp, f float64) float64 {
-	return t.design.ReceiveResponse * pressureAmp * t.GeometricResponse(f)
+// pressurePa at frequency freqHz.
+func (t *Transducer) OpenCircuitVoltage(pressurePa, freqHz float64) float64 {
+	return t.design.ReceiveResponse * pressurePa * t.GeometricResponse(freqHz)
 }
 
 // AvailableElectricalPower returns the maximum electrical power (W) a
@@ -235,12 +235,12 @@ func (t *Transducer) OpenCircuitVoltage(pressureAmp, f float64) float64 {
 // pressure amplitude p (Pa) at frequency f: the acoustic power captured
 // over the effective area, scaled by the conversion efficiency and the
 // squared geometric response.
-func (t *Transducer) AvailableElectricalPower(pressureAmp, f, rhoC float64) float64 {
+func (t *Transducer) AvailableElectricalPower(pressurePa, freqHz, rhoC float64) float64 {
 	if rhoC <= 0 {
 		return 0
 	}
-	intensity := pressureAmp * pressureAmp / (2 * rhoC) // W/m², plane wave
-	b := t.GeometricResponse(f)
+	intensity := pressurePa * pressurePa / (2 * rhoC) // W/m², plane wave
+	b := t.GeometricResponse(freqHz)
 	return intensity * t.design.EffectiveAreaM2 * t.design.Efficiency * b * b
 }
 

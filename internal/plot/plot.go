@@ -85,10 +85,10 @@ func render(w io.Writer, title string, series []Series, width, height int) error
 	if points == 0 {
 		return fmt.Errorf("plot: no finite points")
 	}
-	if xmax == xmin {
+	if xmax <= xmin {
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if ymax <= ymin {
 		ymax = ymin + 1
 	}
 
@@ -195,6 +195,7 @@ func ParseTSV(tsv string) ([]Series, error) {
 		}
 		constant := true
 		for _, v := range cols[c][1:] {
+			//pablint:ignore floatcmp constant-column pruning wants exact repeats of the same parsed text, not numeric closeness
 			if v != cols[c][0] {
 				constant = false
 				break

@@ -66,10 +66,10 @@ func (r Rectifier) Validate() error {
 }
 
 // OpenCircuitVoltage returns the unloaded DC output for a sinusoidal
-// input of peak amplitude vinPeak: each stage contributes 2·(Vpeak − Vd),
+// input of peak amplitude vinPeakV: each stage contributes 2·(Vpeak − Vd),
 // and inputs below the diode drop produce nothing.
-func (r Rectifier) OpenCircuitVoltage(vinPeak float64) float64 {
-	per := 2 * (vinPeak - r.DiodeDrop)
+func (r Rectifier) OpenCircuitVoltage(vinPeakV float64) float64 {
+	per := 2 * (vinPeakV - r.DiodeDrop)
 	if per <= 0 {
 		return 0
 	}
@@ -93,9 +93,9 @@ func (r Rectifier) InputPeakFromPower(p float64) float64 {
 }
 
 // LoadedVoltage returns the steady-state DC output when the output sinks
-// a constant current iLoad (A): Voc − I·Rout, floored at zero.
-func (r Rectifier) LoadedVoltage(vinPeak, iLoad float64) float64 {
-	v := r.OpenCircuitVoltage(vinPeak) - iLoad*r.OutputResistance()
+// a constant current iLoadA (A): Voc − I·Rout, floored at zero.
+func (r Rectifier) LoadedVoltage(vinPeakV, iLoadA float64) float64 {
+	v := r.OpenCircuitVoltage(vinPeakV) - iLoadA*r.OutputResistance()
 	if v < 0 {
 		return 0
 	}
@@ -144,55 +144,55 @@ func (s *Supercap) SetVoltage(v float64) {
 	s.voltage = v
 }
 
-// Step advances the capacitor by dt seconds while charged from a Thevenin
-// source (voc, rout) and discharged by a constant load current iLoad.
+// Step advances the capacitor by dtS seconds while charged from a Thevenin
+// source (vocV, routOhm) and discharged by a constant load current iLoadA.
 // The rectifier's diodes block reverse flow, so the source never drains
 // the capacitor. It returns the new voltage.
-func (s *Supercap) Step(voc, rout, iLoad, dt float64) float64 {
-	if dt <= 0 {
+func (s *Supercap) Step(vocV, routOhm, iLoadA, dtS float64) float64 {
+	if dtS <= 0 {
 		return s.voltage
 	}
 	iCharge := 0.0
-	if rout > 0 && voc > s.voltage {
-		iCharge = (voc - s.voltage) / rout
-	} else if rout <= 0 && voc > s.voltage {
-		// Ideal source snaps the capacitor to voc.
-		s.voltage = voc
+	if routOhm > 0 && vocV > s.voltage {
+		iCharge = (vocV - s.voltage) / routOhm
+	} else if routOhm <= 0 && vocV > s.voltage {
+		// Ideal source snaps the capacitor to vocV.
+		s.voltage = vocV
 	}
 	iLeak := 0.0
 	if s.LeakResistance > 0 {
 		iLeak = s.voltage / s.LeakResistance
 	}
-	dv := (iCharge - iLoad - iLeak) / s.Capacitance * dt
+	dv := (iCharge - iLoadA - iLeak) / s.Capacitance * dtS
 	s.voltage += dv
 	if s.voltage < 0 {
 		s.voltage = 0
 	}
-	if iCharge > 0 && s.voltage > voc {
-		// A large dt can overshoot the source's open-circuit voltage;
+	if iCharge > 0 && s.voltage > vocV {
+		// A large dtS can overshoot the source's open-circuit voltage;
 		// the source cannot charge beyond it.
-		s.voltage = voc
+		s.voltage = vocV
 	}
 	return s.voltage
 }
 
 // SteadyState returns the voltage the capacitor converges to for a fixed
-// source and load (ignoring the leak for rout == 0).
-func (s *Supercap) SteadyState(voc, rout, iLoad float64) float64 {
-	if rout <= 0 {
-		return math.Max(voc, 0)
+// source and load (ignoring the leak for routOhm == 0).
+func (s *Supercap) SteadyState(vocV, routOhm, iLoadA float64) float64 {
+	if routOhm <= 0 {
+		return math.Max(vocV, 0)
 	}
-	// 0 = (voc − v)/rout − iLoad − v/Rleak
+	// 0 = (vocV − v)/routOhm − iLoadA − v/Rleak
 	gLeak := 0.0
 	if s.LeakResistance > 0 {
 		gLeak = 1 / s.LeakResistance
 	}
-	v := (voc/rout - iLoad) / (1/rout + gLeak)
+	v := (vocV/routOhm - iLoadA) / (1/routOhm + gLeak)
 	if v < 0 {
 		return 0
 	}
-	if v > voc {
-		return voc
+	if v > vocV {
+		return vocV
 	}
 	return v
 }
@@ -201,14 +201,14 @@ func (s *Supercap) SteadyState(voc, rout, iLoad float64) float64 {
 // clamps the charging current to maxChargeA — the rectifier cannot
 // deliver more charge than energy conservation allows
 // (I ≤ η·P_in / V_cap).
-func (s *Supercap) StepPowerLimited(voc, rout, iLoad, maxChargeA, dt float64) float64 {
-	if dt <= 0 {
+func (s *Supercap) StepPowerLimited(vocV, routOhm, iLoadA, maxChargeA, dtS float64) float64 {
+	if dtS <= 0 {
 		return s.voltage
 	}
 	iCharge := 0.0
-	if rout > 0 && voc > s.voltage {
-		iCharge = (voc - s.voltage) / rout
-	} else if rout <= 0 && voc > s.voltage {
+	if routOhm > 0 && vocV > s.voltage {
+		iCharge = (vocV - s.voltage) / routOhm
+	} else if routOhm <= 0 && vocV > s.voltage {
 		iCharge = maxChargeA
 	}
 	if iCharge > maxChargeA {
@@ -218,13 +218,13 @@ func (s *Supercap) StepPowerLimited(voc, rout, iLoad, maxChargeA, dt float64) fl
 	if s.LeakResistance > 0 {
 		iLeak = s.voltage / s.LeakResistance
 	}
-	dv := (iCharge - iLoad - iLeak) / s.Capacitance * dt
+	dv := (iCharge - iLoadA - iLeak) / s.Capacitance * dtS
 	s.voltage += dv
 	if s.voltage < 0 {
 		s.voltage = 0
 	}
-	if iCharge > 0 && s.voltage > voc && voc > 0 {
-		s.voltage = voc
+	if iCharge > 0 && s.voltage > vocV && vocV > 0 {
+		s.voltage = vocV
 	}
 	return s.voltage
 }

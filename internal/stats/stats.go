@@ -11,6 +11,15 @@ import (
 	"pab/internal/units"
 )
 
+// ApproxEqual reports whether a and b agree to within tol, absolutely
+// or relative to their magnitude. It is the evaluation harness's
+// approved float comparison (pablint's floatcmp rule forbids raw ==/!=
+// on floats outside helpers like this one); it delegates to
+// units.ApproxEqual so every layer agrees on what "equal" means.
+func ApproxEqual(a, b, tol float64) bool {
+	return units.ApproxEqual(a, b, tol)
+}
+
 // Mean returns the arithmetic mean (0 for empty input).
 func Mean(x []float64) float64 {
 	if len(x) == 0 {

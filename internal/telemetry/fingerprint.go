@@ -15,13 +15,13 @@ import (
 // the bit-reproducibility check the fault-injection layer asserts.
 func (r *Registry) CounterFingerprint(prefix string) uint64 {
 	r.mu.RLock()
-	names := make([]string, 0, len(r.counters))
+	names := make([]Name, 0, len(r.counters))
 	for n := range r.counters {
-		if strings.HasPrefix(n, prefix) {
+		if strings.HasPrefix(string(n), prefix) {
 			names = append(names, n)
 		}
 	}
-	sort.Strings(names)
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
 	h := fnv.New64a()
 	for _, n := range names {
 		fmt.Fprintf(h, "%s=%d\n", n, r.counters[n].Value())

@@ -1,0 +1,97 @@
+package telemetry
+
+// Name is a registered metric identifier. Every counter, gauge and
+// histogram in the process shares one namespace, and dashboards,
+// fingerprint tests and report diffs key on these strings — so names
+// are compile-time constants declared in this file, never computed at
+// runtime. The pablint telemetryhygiene rule enforces both halves:
+// metric-name arguments must be constants (or values that already
+// carry this type), and every constant name used anywhere in the tree
+// must appear below.
+//
+// Naming convention: subsystem prefix, snake_case, and a unit or
+// "_total" suffix (Prometheus style).
+type Name string
+
+// Registered metric names, grouped by subsystem.
+const (
+	// channel — image-method impulse responses and injected faults.
+	MChannelResponsesTotal      Name = "channel_responses_total"
+	MChannelIrTaps              Name = "channel_ir_taps"
+	MChannelIrImagesConsidered  Name = "channel_ir_images_considered"
+	MChannelIrMaxDelaySeconds   Name = "channel_ir_max_delay_seconds"
+	MChannelImpulseBurstsTotal  Name = "channel_impulse_bursts_total"
+	MChannelClippedSamplesTotal Name = "channel_clipped_samples_total"
+
+	// mac — framed-slotted-ALOHA inventory and the query/reply engine.
+	MMacInventoryRoundsTotal      Name = "mac_inventory_rounds_total"
+	MMacInventoryQ                Name = "mac_inventory_q"
+	MMacInventorySlotsTotal       Name = "mac_inventory_slots_total"
+	MMacInventorySilentNodesTotal Name = "mac_inventory_silent_nodes_total"
+	MMacInventorySlotOccupancy    Name = "mac_inventory_slot_occupancy"
+	MMacInventoryEmptySlotsTotal  Name = "mac_inventory_empty_slots_total"
+	MMacInventorySingletonsTotal  Name = "mac_inventory_singletons_total"
+	MMacInventoryJammedSlotsTotal Name = "mac_inventory_jammed_slots_total"
+	MMacInventoryCollisionsTotal  Name = "mac_inventory_collisions_total"
+	MMacRetriesTotal              Name = "mac_retries_total"
+	MMacQueriesTotal              Name = "mac_queries_total"
+	MMacAirtimeSeconds            Name = "mac_airtime_seconds"
+	MMacFailuresTotal             Name = "mac_failures_total"
+	MMacRepliesTotal              Name = "mac_replies_total"
+	MMacFailuresNoSyncTotal       Name = "mac_failures_no_sync_total"
+	MMacFailuresCrcTotal          Name = "mac_failures_crc_total"
+	MMacFailuresTimeoutTotal      Name = "mac_failures_timeout_total"
+	MMacRoundsTotal               Name = "mac_rounds_total"
+
+	// mac.Session — the resilient poll loop and its rate ladder.
+	MMacSessionSkippedPollsTotal    Name = "mac_session_skipped_polls_total"
+	MMacSessionPollsTotal           Name = "mac_session_polls_total"
+	MMacSessionSweepsTotal          Name = "mac_session_sweeps_total"
+	MMacSessionBackoffSeconds       Name = "mac_session_backoff_seconds"
+	MMacSessionRecoverySeconds      Name = "mac_session_recovery_seconds"
+	MMacSessionRehabilitationsTotal Name = "mac_session_rehabilitations_total"
+	MMacSessionUpshiftsTotal        Name = "mac_session_upshifts_total"
+	MMacSessionDownshiftsTotal      Name = "mac_session_downshifts_total"
+	MMacSessionEvictionsTotal       Name = "mac_session_evictions_total"
+	MMacSessionQuarantinesTotal     Name = "mac_session_quarantines_total"
+
+	// phy — line decoders, preamble sync and CDMA despreading.
+	MPhyFm0DecodesTotal        Name = "phy_fm0_decodes_total"
+	MPhyFm0BitsTotal           Name = "phy_fm0_bits_total"
+	MPhyManchesterDecodesTotal Name = "phy_manchester_decodes_total"
+	MPhyManchesterBitsTotal    Name = "phy_manchester_bits_total"
+	MPhySyncMissesTotal        Name = "phy_sync_misses_total"
+	MPhySyncDetectsTotal       Name = "phy_sync_detects_total"
+	MPhySyncCandidates         Name = "phy_sync_candidates"
+	MPhySyncPeak               Name = "phy_sync_peak"
+	MPhyCdmaDespreadsTotal     Name = "phy_cdma_despreads_total"
+	MPhyCdmaBitsTotal          Name = "phy_cdma_bits_total"
+
+	// core — the end-to-end link, FDMA network and concurrent runner.
+	MCoreFdmaChannels                Name = "core_fdma_channels"
+	MCoreLinkLevel                   Name = "core_link_level"
+	MCoreLinkDownshiftsTotal         Name = "core_link_downshifts_total"
+	MCoreLinkUpshiftsTotal           Name = "core_link_upshifts_total"
+	MCoreLinkQueriesTotal            Name = "core_link_queries_total"
+	MCoreDownlinkDecodesTotal        Name = "core_downlink_decodes_total"
+	MCoreDownlinkDecodeFailuresTotal Name = "core_downlink_decode_failures_total"
+	MCoreFaultTruncatedUplinksTotal  Name = "core_fault_truncated_uplinks_total"
+	MCoreFaultMidframeBrownoutsTotal Name = "core_fault_midframe_brownouts_total"
+	MCoreFaultFadedUplinksTotal      Name = "core_fault_faded_uplinks_total"
+	MCoreUplinkBer                   Name = "core_uplink_ber"
+	MCoreConcurrentRunsTotal         Name = "core_concurrent_runs_total"
+	MCoreConcurrentCondition         Name = "core_concurrent_condition"
+	MCoreUplinkDecodeFailuresTotal   Name = "core_uplink_decode_failures_total"
+	MCoreUplinkDecodesTotal          Name = "core_uplink_decodes_total"
+	MCoreUplinkSnrDb                 Name = "core_uplink_snr_db"
+
+	// fault — per-class injection counters (fault.Engine.note).
+	MFaultImpulseInjected    Name = "fault_impulse_injected_total"
+	MFaultNoiseFloorInjected Name = "fault_noise_floor_injected_total"
+	MFaultFadeInjected       Name = "fault_fade_injected_total"
+	MFaultBrownoutInjected   Name = "fault_brownout_injected_total"
+	MFaultClockDriftInjected Name = "fault_clock_drift_injected_total"
+	MFaultClippingInjected   Name = "fault_clipping_injected_total"
+	MFaultTruncationInjected Name = "fault_truncation_injected_total"
+	MFaultNodeDeathInjected  Name = "fault_node_death_injected_total"
+)

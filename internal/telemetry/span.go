@@ -98,7 +98,11 @@ func (s *Span) End() time.Duration {
 		r.spanLen++
 	}
 	r.spanMu.Unlock()
-	r.Observe("span_"+s.name+"_seconds", d.Seconds())
+	// Span names are caller-chosen stage identifiers, not metrics
+	// registry keys; the derived histogram name is the one sanctioned
+	// dynamic metric in the process.
+	//pablint:ignore telemetryhygiene span duration histograms derive their name from the span stage name
+	r.Observe(Name("span_"+s.name+"_seconds"), d.Seconds())
 	return d
 }
 

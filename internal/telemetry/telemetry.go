@@ -223,9 +223,9 @@ type Registry struct {
 	enabled atomic.Bool
 
 	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[Name]*Counter
+	gauges   map[Name]*Gauge
+	hists    map[Name]*Histogram
 
 	spanSeq atomic.Uint64
 	spanMu  sync.Mutex
@@ -242,9 +242,9 @@ type Registry struct {
 // NewRegistry returns an enabled, empty registry.
 func NewRegistry() *Registry {
 	r := &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters: make(map[Name]*Counter),
+		gauges:   make(map[Name]*Gauge),
+		hists:    make(map[Name]*Histogram),
 		spans:    make([]SpanRecord, maxSpanRecords),
 		reports:  make([]DecodeReport, maxDecodeReports),
 	}
@@ -261,7 +261,7 @@ func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
 func (r *Registry) Enabled() bool { return r.enabled.Load() }
 
 // Counter returns the named counter, creating it on first use.
-func (r *Registry) Counter(name string) *Counter {
+func (r *Registry) Counter(name Name) *Counter {
 	r.mu.RLock()
 	c := r.counters[name]
 	r.mu.RUnlock()
@@ -278,7 +278,7 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // Gauge returns the named gauge, creating it on first use.
-func (r *Registry) Gauge(name string) *Gauge {
+func (r *Registry) Gauge(name Name) *Gauge {
 	r.mu.RLock()
 	g := r.gauges[name]
 	r.mu.RUnlock()
@@ -298,7 +298,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 // bucket upper bounds on first use (later callers get the existing
 // histogram regardless of bounds; nil/empty bounds select
 // DefDurationBuckets).
-func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+func (r *Registry) Histogram(name Name, bounds []float64) *Histogram {
 	r.mu.RLock()
 	h := r.hists[name]
 	r.mu.RUnlock()
@@ -321,10 +321,10 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 }
 
 // Inc bumps the named counter by one (no-op when disabled).
-func (r *Registry) Inc(name string) { r.Add(name, 1) }
+func (r *Registry) Inc(name Name) { r.Add(name, 1) }
 
 // Add bumps the named counter by n (no-op when disabled).
-func (r *Registry) Add(name string, n int64) {
+func (r *Registry) Add(name Name, n int64) {
 	if !r.enabled.Load() {
 		return
 	}
@@ -332,7 +332,7 @@ func (r *Registry) Add(name string, n int64) {
 }
 
 // Set stores v into the named gauge (no-op when disabled).
-func (r *Registry) Set(name string, v float64) {
+func (r *Registry) Set(name Name, v float64) {
 	if !r.enabled.Load() {
 		return
 	}
@@ -341,7 +341,7 @@ func (r *Registry) Set(name string, v float64) {
 
 // Observe records v into the named histogram, creating it with default
 // duration buckets when new (no-op when disabled).
-func (r *Registry) Observe(name string, v float64) {
+func (r *Registry) Observe(name Name, v float64) {
 	if !r.enabled.Load() {
 		return
 	}
@@ -350,7 +350,7 @@ func (r *Registry) Observe(name string, v float64) {
 
 // ObserveN records v into the named histogram with the given bounds on
 // first use (no-op when disabled).
-func (r *Registry) ObserveN(name string, bounds []float64, v float64) {
+func (r *Registry) ObserveN(name Name, bounds []float64, v float64) {
 	if !r.enabled.Load() {
 		return
 	}
@@ -362,9 +362,9 @@ func (r *Registry) ObserveN(name string, bounds []float64, v float64) {
 // experiment runs.
 func (r *Registry) Reset() {
 	r.mu.Lock()
-	r.counters = make(map[string]*Counter)
-	r.gauges = make(map[string]*Gauge)
-	r.hists = make(map[string]*Histogram)
+	r.counters = make(map[Name]*Counter)
+	r.gauges = make(map[Name]*Gauge)
+	r.hists = make(map[Name]*Histogram)
 	r.mu.Unlock()
 	r.spanMu.Lock()
 	r.spanPos, r.spanLen = 0, 0
@@ -384,10 +384,10 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.RLock()
 	for name, c := range r.counters {
-		snap.Counters[name] = c.Value()
+		snap.Counters[string(name)] = c.Value()
 	}
 	for name, g := range r.gauges {
-		snap.Gauges[name] = g.Value()
+		snap.Gauges[string(name)] = g.Value()
 	}
 	for name, h := range r.hists {
 		hs := HistogramSnapshot{Sum: h.Sum(), Count: h.Count()}
@@ -398,7 +398,7 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		cum += h.counts[len(h.bounds)].Load()
 		hs.Buckets = append(hs.Buckets, Bucket{UpperBound: math.Inf(1), Count: cum})
-		snap.Histograms[name] = hs
+		snap.Histograms[string(name)] = hs
 	}
 	r.mu.RUnlock()
 
@@ -523,18 +523,18 @@ func SetEnabled(on bool) { defaultReg.SetEnabled(on) }
 func Enabled() bool { return defaultReg.Enabled() }
 
 // Inc bumps a counter in the default registry.
-func Inc(name string) { defaultReg.Inc(name) }
+func Inc(name Name) { defaultReg.Inc(name) }
 
 // Add bumps a counter in the default registry by n.
-func Add(name string, n int64) { defaultReg.Add(name, n) }
+func Add(name Name, n int64) { defaultReg.Add(name, n) }
 
 // Set stores a gauge value in the default registry.
-func Set(name string, v float64) { defaultReg.Set(name, v) }
+func Set(name Name, v float64) { defaultReg.Set(name, v) }
 
 // Observe records a histogram sample in the default registry (duration
 // buckets).
-func Observe(name string, v float64) { defaultReg.Observe(name, v) }
+func Observe(name Name, v float64) { defaultReg.Observe(name, v) }
 
 // ObserveN records a histogram sample in the default registry with
 // explicit bounds on first use.
-func ObserveN(name string, bounds []float64, v float64) { defaultReg.ObserveN(name, bounds, v) }
+func ObserveN(name Name, bounds []float64, v float64) { defaultReg.ObserveN(name, bounds, v) }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"pab/internal/lint"
 )
 
 func TestDefaultLinkEndToEnd(t *testing.T) {
@@ -186,5 +188,25 @@ func TestTraceFacade(t *testing.T) {
 	}
 	if _, _, err := link.Trace(1, 0.9, 0.5, 5); err == nil {
 		t.Error("invalid schedule should error")
+	}
+}
+
+// TestLintSmoke runs the pablint analyzer suite in-process over the
+// fault engine — the package whose determinism contract the whole
+// evaluation harness leans on — and asserts it is finding-free, so a
+// plain `go test ./...` catches invariant regressions even without CI.
+func TestLintSmoke(t *testing.T) {
+	loader, err := lint.NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("pab/internal/fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lint.DefaultConfig()
+	prog := &lint.Program{Pkgs: []*lint.Package{pkg}, Loader: loader}
+	for _, f := range lint.Run(prog, cfg, lint.Analyzers(cfg)) {
+		t.Errorf("pablint: %s", f)
 	}
 }
