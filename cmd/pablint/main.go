@@ -1,17 +1,26 @@
 // Command pablint runs the PAB domain lint suite (internal/lint) over
-// the module: determinism, floatcmp, unitsafety, telemetryhygiene and
-// errdiscard — the invariants the paper's reproducibility claims rest
+// the module: determinism, floatcmp, unitsafety, telemetryhygiene,
+// errdiscard, plus the flow-sensitive rules dimflow, seedflow and
+// nanguard — the invariants the paper's reproducibility claims rest
 // on, encoded as machine-checked rules.
 //
 //	go run ./cmd/pablint ./...            # whole module
 //	go run ./cmd/pablint ./internal/...   # one subtree
 //	go run ./cmd/pablint -rules determinism,floatcmp ./...
 //	go run ./cmd/pablint -list            # show the rules
+//	go run ./cmd/pablint -json ./... > findings.json
+//	go run ./cmd/pablint -baseline findings.json ./...   # only NEW findings fail
 //	go run ./cmd/pablint -dir internal/lint/testdata/src ./...  # fixtures
+//
+// With -json the machine-readable report goes to stdout and the
+// human-readable findings to stderr (where CI problem matchers pick
+// them up). With -baseline, findings already recorded in the given
+// report are accepted; only new ones are printed and fail the run.
 //
 // Exit codes: 0 clean, 1 findings reported, 2 load/usage error.
 // Suppress a finding with "//pablint:ignore <rule> <reason>" on (or
-// directly above) the offending line; see DESIGN.md §11.
+// directly above) the offending line; see DESIGN.md §11 and
+// internal/lint/README.md.
 package main
 
 import (
@@ -37,8 +46,10 @@ func realMain() int {
 	rules := flag.String("rules", "", "comma-separated rule subset (default: all)")
 	list := flag.Bool("list", false, "list available rules and exit")
 	dir := flag.String("dir", ".", "module root to analyze (patterns resolve relative to it)")
+	jsonOut := flag.Bool("json", false, "write a JSON report to stdout (findings still print to stderr)")
+	baseline := flag.String("baseline", "", "JSON report of accepted findings; only new findings fail")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: pablint [-dir root] [-rules r1,r2] [-list] [patterns]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pablint [-dir root] [-rules r1,r2] [-json] [-baseline file] [-list] [patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -107,12 +118,42 @@ func realMain() int {
 	}
 
 	prog := &lint.Program{Pkgs: pkgs, Loader: loader}
-	findings := lint.Run(prog, cfg, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	all := lint.RunAll(prog, cfg, analyzers)
+
+	// The failing set: active findings, minus the baseline if given.
+	failing := make([]lint.Finding, 0, len(all))
+	for _, f := range all {
+		if !f.Suppressed {
+			failing = append(failing, f)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "pablint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+	if *baseline != "" {
+		base, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pablint: %v\n", err)
+			return exitError
+		}
+		failing = base.FilterNew(loader.ModRoot, all)
+	}
+
+	// Human-readable findings: stdout normally, stderr under -json so
+	// the report alone occupies stdout.
+	text := os.Stdout
+	if *jsonOut {
+		text = os.Stderr
+	}
+	for _, f := range failing {
+		fmt.Fprintln(text, f)
+	}
+	if *jsonOut {
+		report := lint.NewJSONReport(loader.ModPath, loader.ModRoot, all)
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pablint: writing JSON: %v\n", err)
+			return exitError
+		}
+	}
+	if len(failing) > 0 {
+		fmt.Fprintf(os.Stderr, "pablint: %d finding(s) in %d package(s)\n", len(failing), len(pkgs))
 		return exitFindings
 	}
 	return exitClean

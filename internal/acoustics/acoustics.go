@@ -170,7 +170,7 @@ func (nc NoiseConditions) SpectralDensity(f float64) units.DB {
 	// Component levels (Coates 1990 formulation), in dB re 1 µPa²/Hz.
 	turb := 17 - 30*math.Log10(math.Max(fk, 1e-3))
 	ship := 40 + 20*(nc.ShippingActivity-0.5) + 26*logf - 60*math.Log10(fk+0.03)
-	wind := 50 + 7.5*math.Sqrt(nc.WindSpeedMS) + 20*logf - 40*math.Log10(fk+0.4)
+	wind := 50 + 7.5*math.Sqrt(math.Max(nc.WindSpeedMS, 0)) + 20*logf - 40*math.Log10(fk+0.4)
 	thermal := -15 + 20*logf
 	total := units.DBToPower(units.DB(turb)) +
 		units.DBToPower(units.DB(ship)) +

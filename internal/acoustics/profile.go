@@ -37,8 +37,12 @@ func CanonicalMunk() MunkProfile {
 	return MunkProfile{AxisDepthM: 1300, AxisSpeedMS: 1500, ScaleDepthM: 1300, Epsilon: 0.00737}
 }
 
-// SpeedAt implements SoundSpeedProfile.
+// SpeedAt implements SoundSpeedProfile. A profile with no scale depth
+// degenerates to the constant axis speed.
 func (m MunkProfile) SpeedAt(depthM float64) float64 {
+	if m.ScaleDepthM <= 0 {
+		return m.AxisSpeedMS
+	}
 	eta := 2 * (depthM - m.AxisDepthM) / m.ScaleDepthM
 	return m.AxisSpeedMS * (1 + m.Epsilon*(eta+math.Exp(-eta)-1))
 }

@@ -316,7 +316,7 @@ func (ir *ImpulseResponse) ApplyTimeVarying(x []float64, motion SurfaceMotion, s
 	if len(x) == 0 || len(ir.Taps) == 0 {
 		return nil
 	}
-	if motion.AmplitudeM <= 0 || motion.PeriodS <= 0 || soundSpeed <= 0 {
+	if motion.AmplitudeM <= 0 || motion.PeriodS <= 0 || soundSpeed <= 0 || ir.SampleRate <= 0 {
 		return ir.Apply(x)
 	}
 	maxExtra := 2 * motion.AmplitudeM * float64(maxSurfaceBounces(ir.Taps)) / soundSpeed

@@ -64,7 +64,7 @@ func (h Hydrophone) Record(pressure []float64) ([]float64, error) {
 			gain *= 0.8 * h.MaxInputV / peak
 		}
 	}
-	lsb := 2 * h.MaxInputV / float64(uint64(1)<<uint(h.Bits))
+	lsb := h.lsbV()
 	out := make([]float64, len(pressure))
 	for i, p := range pressure {
 		v := p * gain
@@ -81,6 +81,22 @@ func (h Hydrophone) Record(pressure []float64) ([]float64, error) {
 // NoiseFloorV returns the quantisation noise RMS of the recorder
 // (lsb/√12), a fundamental floor on detectable backscatter modulation.
 func (h Hydrophone) NoiseFloorV() float64 {
-	lsb := 2 * h.MaxInputV / float64(uint64(1)<<uint(h.Bits))
-	return lsb / math.Sqrt(12)
+	return h.lsbV() / math.Sqrt(12)
+}
+
+// lsbV returns the ADC step size in volts. Validate enforces the same
+// bounds; clamping here as well keeps the helper total on receivers that
+// were never validated.
+func (h Hydrophone) lsbV() float64 {
+	bits := h.Bits
+	if bits < 2 {
+		bits = 2
+	} else if bits > 32 {
+		bits = 32
+	}
+	maxV := h.MaxInputV
+	if maxV <= 0 {
+		maxV = 1
+	}
+	return 2 * maxV / float64(uint64(1)<<uint(bits))
 }

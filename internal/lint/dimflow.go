@@ -1,0 +1,496 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DimFlowAnalyzer is the flow-sensitive half of unit safety: where
+// unitsafety checks API *shape* (parameter naming), dimflow follows
+// values through function bodies. It infers a physical dimension for
+// every expression — from internal/units types (DB), from unit-bearing
+// identifier suffixes (freqHz, ampPa, rLoadOhm), and from the known
+// conversion functions (PowerToDB, SPL, …) — propagates it through
+// arithmetic, assignments and calls with the shared dataflow engine,
+// and flags:
+//
+//   - adding, subtracting or comparing two values with different known
+//     units (Hz + s, Pa < V);
+//   - mixing dB-scale and linear-scale values in +/-/compare;
+//   - multiplying two dB-scale values (dB compose by addition), or a
+//     dB value by a known linear unit;
+//   - double conversions: PowerToDB/AmplitudeToDB/SPL of a value
+//     already in dB, math.Log* of a dB value;
+//   - minting units.DB from a known linear unit by type conversion
+//     instead of a conversion function.
+//
+// Constants are wildcards (2 * freqHz is fine), products of two known
+// units collapse to "unknown" (compound units are not tracked), and a
+// same-unit quotient is dimensionless — the analyzer only speaks up
+// when both operands are confidently, differently dimensioned.
+func DimFlowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "dimflow",
+		Doc:  "flow-sensitive physical-dimension checking: unit-mixing arithmetic, dB/linear confusion, double conversions",
+		Run:  runDimFlow,
+	}
+}
+
+// dim is the abstract value: a unit label plus whether the value lives
+// on a logarithmic (dB-family) scale. The zero dim is "unknown"
+// (lattice top); unit "1" is a known dimensionless ratio.
+type dim struct {
+	unit string
+	log  bool
+}
+
+var (
+	dimTop  = dim{}
+	dimLess = dim{unit: "1"}
+	dimDB   = dim{unit: "dB", log: true}
+)
+
+// known reports whether d carries a definite non-dimensionless unit.
+func (d dim) known() bool { return d.unit != "" && d.unit != "1" }
+
+// dimSuffixTable maps lower-cased identifier suffixes to dimensions,
+// longest suffix first so "dbperkm" wins over "km" and "khz" over
+// "hz". The boundary discipline matches unitsafety's unitBearing: the
+// suffix must be preceded by an underscore or start at an uppercase
+// rune (freqHz, wind_ms), so "gains" never matches "s" and "beta"
+// never matches "a".
+var dimSuffixTable = []struct {
+	suf string
+	d   dim
+}{
+	{"dbperkm", dim{unit: "dB/km"}},
+	{"frequency", dim{unit: "Hz"}},
+	{"khz", dim{unit: "kHz"}},
+	{"mhz", dim{unit: "MHz"}},
+	{"hz", dim{unit: "Hz"}},
+	{"duration", dim{unit: "s"}},
+	{"seconds", dim{unit: "s"}},
+	{"secs", dim{unit: "s"}},
+	{"sec", dim{unit: "s"}},
+	// "ms" is deliberately its own label: milliseconds and metres/second
+	// collide on the suffix, and either way it is distinct from "m" and "s".
+	{"ms", dim{unit: "ms"}},
+	{"us", dim{unit: "us"}},
+	{"ns", dim{unit: "ns"}},
+	{"s", dim{unit: "s"}},
+	{"dbm", dim{unit: "dBm", log: true}},
+	{"db", dimDB},
+	{"spl", dimDB},
+	{"pressure", dim{unit: "Pa"}},
+	{"upa", dim{unit: "uPa"}},
+	{"pascal", dim{unit: "Pa"}},
+	{"pa", dim{unit: "Pa"}},
+	{"meters", dim{unit: "m"}},
+	{"metres", dim{unit: "m"}},
+	{"distance", dim{unit: "m"}},
+	{"depth", dim{unit: "m"}},
+	{"km", dim{unit: "km"}},
+	{"cm", dim{unit: "cm"}},
+	{"mm", dim{unit: "mm"}},
+	{"m", dim{unit: "m"}},
+	{"rad", dim{unit: "rad"}},
+	{"deg", dim{unit: "deg"}},
+	{"voltage", dim{unit: "V"}},
+	{"volts", dim{unit: "V"}},
+	{"mv", dim{unit: "mV"}},
+	{"v", dim{unit: "V"}},
+	{"current", dim{unit: "A"}},
+	{"amps", dim{unit: "A"}},
+	{"ma", dim{unit: "mA"}},
+	{"a", dim{unit: "A"}},
+	{"resistance", dim{unit: "Ohm"}},
+	{"ohms", dim{unit: "Ohm"}},
+	{"ohm", dim{unit: "Ohm"}},
+	{"capacitance", dim{unit: "F"}},
+	{"farads", dim{unit: "F"}},
+	{"farad", dim{unit: "F"}},
+	{"nf", dim{unit: "nF"}},
+	{"uf", dim{unit: "uF"}},
+	{"pf", dim{unit: "pF"}},
+	{"inductance", dim{unit: "H"}},
+	{"henries", dim{unit: "H"}},
+	{"henry", dim{unit: "H"}},
+	{"power", dim{unit: "W"}},
+	{"watts", dim{unit: "W"}},
+	{"mw", dim{unit: "mW"}},
+	{"w", dim{unit: "W"}},
+	{"energy", dim{unit: "J"}},
+	{"joules", dim{unit: "J"}},
+	{"j", dim{unit: "J"}},
+	{"psu", dim{unit: "PSU"}},
+}
+
+// dimWholeNames are conventional names accepted as-is.
+var dimWholeNames = map[string]dim{
+	"fs":   {unit: "Hz"},
+	"freq": {unit: "Hz"},
+}
+
+func init() {
+	sort.SliceStable(dimSuffixTable, func(i, j int) bool {
+		return len(dimSuffixTable[i].suf) > len(dimSuffixTable[j].suf)
+	})
+}
+
+// dimFromName infers a dimension from an identifier. Single-letter
+// whole names never match (a variable "w" is not watts); suffixes need
+// the camelCase/underscore boundary.
+func dimFromName(name string) (dim, bool) {
+	lower := strings.ToLower(name)
+	if d, ok := dimWholeNames[lower]; ok {
+		return d, true
+	}
+	for _, e := range dimSuffixTable {
+		if lower == e.suf {
+			if len(e.suf) >= 2 {
+				return e.d, true
+			}
+			continue
+		}
+		if !strings.HasSuffix(lower, e.suf) {
+			continue
+		}
+		b := len(name) - len(e.suf)
+		if name[b-1] == '_' || (name[b] >= 'A' && name[b] <= 'Z') {
+			return e.d, true
+		}
+	}
+	return dimTop, false
+}
+
+// dimDomain implements flowDomain[dim] for one package.
+type dimDomain struct {
+	pkg       *Package
+	info      *types.Info
+	unitsPath string
+	dbType    types.Type // units.DB, or nil when unresolvable
+}
+
+func newDimDomain(pass *Pass) *dimDomain {
+	d := &dimDomain{
+		pkg:       pass.Pkg,
+		info:      pass.Pkg.Info,
+		unitsPath: pass.Cfg.UnitsPkg,
+	}
+	d.dbType = lookupDBType(pass, d.unitsPath)
+	return d
+}
+
+// lookupDBType resolves the units.DB named type: from the analyzed
+// package itself, its imports, or as a last resort the loader.
+func lookupDBType(pass *Pass, unitsPath string) types.Type {
+	find := func(p *types.Package) types.Type {
+		if p == nil || p.Path() != unitsPath {
+			return nil
+		}
+		if tn, ok := p.Scope().Lookup("DB").(*types.TypeName); ok {
+			return tn.Type()
+		}
+		return nil
+	}
+	if t := find(pass.Pkg.Types); t != nil {
+		return t
+	}
+	for _, imp := range pass.Pkg.Types.Imports() {
+		if t := find(imp); t != nil {
+			return t
+		}
+	}
+	if pass.Prog != nil && pass.Prog.Loader != nil {
+		if pkg, err := pass.Prog.Loader.Load(unitsPath); err == nil {
+			if t := find(pkg.Types); t != nil {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+func (d *dimDomain) isDB(t types.Type) bool {
+	return d.dbType != nil && t != nil && types.Identical(t, d.dbType)
+}
+
+func (d *dimDomain) Top() dim { return dimTop }
+
+func (d *dimDomain) Join(a, b dim) dim {
+	if a == b {
+		return a
+	}
+	return dimTop
+}
+
+func (d *dimDomain) Seed(obj types.Object) (dim, bool) {
+	switch obj.(type) {
+	case *types.Var, *types.Const:
+	default:
+		return dimTop, false
+	}
+	if d.isDB(obj.Type()) {
+		return dimDB, true
+	}
+	if b, ok := obj.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsFloat == 0 {
+		return dimTop, false
+	}
+	return dimFromName(obj.Name())
+}
+
+func (d *dimDomain) Eval(e ast.Expr, get func(types.Object) dim) dim {
+	// The static type settles it for the named dB wrapper, whatever the
+	// expression's shape.
+	if t := d.info.TypeOf(e); d.isDB(t) {
+		return dimDB
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return d.Eval(x.X, get)
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB || x.Op == token.ADD {
+			return d.Eval(x.X, get)
+		}
+	case *ast.Ident:
+		switch d.info.ObjectOf(x).(type) {
+		case *types.Var, *types.Const:
+			return get(d.info.ObjectOf(x))
+		}
+	case *ast.SelectorExpr:
+		switch obj := d.info.Uses[x.Sel].(type) {
+		case *types.Var, *types.Const:
+			return get(obj)
+		}
+	case *ast.BinaryExpr:
+		return d.EvalOp(x.Op, d.Eval(x.X, get), d.Eval(x.Y, get))
+	case *ast.CallExpr:
+		return d.evalCall(x, get)
+	}
+	return dimTop
+}
+
+// EvalOp is the binary transfer function. It is deliberately
+// conservative: any operation with an unknown operand is unknown, and
+// products of two different known units are unknown (compound units
+// untracked) — knowledge is only kept where it is certain.
+func (d *dimDomain) EvalOp(op token.Token, x, y dim) dim {
+	switch op {
+	case token.ADD, token.SUB:
+		if x == y {
+			return x
+		}
+	case token.MUL:
+		if x == dimLess {
+			return y
+		}
+		if y == dimLess {
+			return x
+		}
+	case token.QUO:
+		if y == dimLess {
+			return x
+		}
+		if x.known() && x == y {
+			return dimLess
+		}
+	}
+	return dimTop
+}
+
+func (d *dimDomain) EvalRange(x dim) (dim, dim) { return dimTop, dimTop }
+
+func (d *dimDomain) evalCall(call *ast.CallExpr, get func(types.Object) dim) dim {
+	// Type conversion: DB(x) is dB by type (caught by Eval's type check
+	// already); other numeric conversions preserve the quantity.
+	if tv, ok := d.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&(types.IsFloat|types.IsInteger) != 0 {
+			return d.Eval(call.Args[0], get)
+		}
+		return dimTop
+	}
+	if path, name, ok := pkgFunc(d.pkg, call); ok {
+		switch path {
+		case d.unitsPath:
+			switch name {
+			case "PowerToDB", "AmplitudeToDB", "SPL":
+				return dimDB
+			case "DBToPower", "DBToAmplitude":
+				return dimLess
+			case "PressureFromSPL":
+				return dim{unit: "Pa"}
+			case "HydrophoneVoltage":
+				return dim{unit: "V"}
+			case "Clamp":
+				if len(call.Args) == 3 {
+					return d.Eval(call.Args[0], get)
+				}
+			}
+		case "math":
+			switch name {
+			case "Abs", "Floor", "Ceil", "Round", "Trunc":
+				if len(call.Args) == 1 {
+					return d.Eval(call.Args[0], get)
+				}
+			case "Max", "Min":
+				if len(call.Args) == 2 {
+					a, b := d.Eval(call.Args[0], get), d.Eval(call.Args[1], get)
+					if a == b {
+						return a
+					}
+					// A constant bound does not erase the variable's unit.
+					if a == dimTop {
+						return b
+					}
+					if b == dimTop {
+						return a
+					}
+				}
+			}
+			return dimTop
+		}
+	}
+	// Fall back to the callee's name: t.ResonanceHz() is Hz.
+	var name string
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return dimTop
+	}
+	if sig, ok := d.info.TypeOf(call.Fun).(*types.Signature); ok &&
+		sig.Results() != nil && sig.Results().Len() == 1 {
+		if b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			if dm, ok := dimFromName(name); ok {
+				return dm
+			}
+		}
+	}
+	return dimTop
+}
+
+// checkBinary returns a finding message when the two operand
+// dimensions must not meet under op, or "" when the expression is fine.
+func (d *dimDomain) checkBinary(op token.Token, x, y dim) string {
+	switch op {
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		if !x.known() || !y.known() || x == y {
+			return ""
+		}
+		verb := "comparison of"
+		switch op {
+		case token.ADD, token.SUB:
+			verb = "arithmetic between"
+		}
+		if x.log != y.log {
+			lin := x
+			if lin.log {
+				lin = y
+			}
+			return "dB/linear mixing: " + verb + " a dB-scale value and a linear " + lin.unit + " value"
+		}
+		return "unit mixing: " + verb + " " + x.unit + " and " + y.unit + " values"
+	case token.MUL:
+		if x.log && y.log {
+			return "dB × dB: multiplying two dB-scale values (dB compose by addition)"
+		}
+		if (x.log && y.known()) || (y.log && x.known()) {
+			lin := x
+			if lin.log {
+				lin = y
+			}
+			return "dB × linear: multiplying a dB-scale value by a " + lin.unit + " value (convert to linear first)"
+		}
+	}
+	return ""
+}
+
+func runDimFlow(pass *Pass) {
+	if !hasPath(pass.Cfg.FlowPkgs, pass.Pkg.Path) {
+		return
+	}
+	dom := newDimDomain(pass)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			env := solveFlow(pass.Pkg.Info, fn, flowDomain[dim](dom))
+			get := func(obj types.Object) dim {
+				if v, ok := env[obj]; ok {
+					return v
+				}
+				if v, ok := dom.Seed(obj); ok {
+					return v
+				}
+				return dimTop
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.BinaryExpr:
+					if !isNumericExpr(pass, x.X) {
+						return true
+					}
+					if msg := dom.checkBinary(x.Op, dom.Eval(x.X, get), dom.Eval(x.Y, get)); msg != "" {
+						pass.Reportf(x.OpPos, "%s", msg)
+					}
+				case *ast.CallExpr:
+					dom.checkCall(pass, x, get)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkCall flags double conversions and dB-minting casts.
+func (d *dimDomain) checkCall(pass *Pass, call *ast.CallExpr, get func(types.Object) dim) {
+	if tv, ok := d.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && d.isDB(tv.Type) {
+			if a := d.Eval(call.Args[0], get); a.known() && !a.log {
+				pass.Reportf(call.Pos(),
+					"units.DB cast of a linear %s value; convert with PowerToDB/AmplitudeToDB/SPL instead", a.unit)
+			}
+		}
+		return
+	}
+	path, name, ok := pkgFunc(d.pkg, call)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	switch path {
+	case d.unitsPath:
+		switch name {
+		case "PowerToDB", "AmplitudeToDB", "SPL":
+			if a := d.Eval(call.Args[0], get); a.log {
+				pass.Reportf(call.Pos(),
+					"double conversion: %s applied to a value already on a dB scale", name)
+			}
+		}
+	case "math":
+		switch name {
+		case "Log", "Log10", "Log2":
+			if a := d.Eval(call.Args[0], get); a.log {
+				pass.Reportf(call.Pos(),
+					"math.%s of a value already on a dB scale (double log)", name)
+			}
+		}
+	}
+}
+
+// isNumericExpr reports whether e's static type is numeric (the dim
+// lattice is meaningless over strings and bools).
+func isNumericExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

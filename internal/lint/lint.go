@@ -18,12 +18,21 @@
 //   - telemetryhygiene  — metric names are compile-time constants
 //     registered in the telemetry package's name registry;
 //   - errdiscard        — no silently discarded errors in the
-//     decode/MAC hot path.
+//     decode/MAC hot path;
+//   - dimflow           — flow-sensitive physical-dimension checking:
+//     unit-mixing arithmetic, dB/linear confusion, double conversions
+//     (built on the dataflow engine in dataflow.go);
+//   - seedflow          — deterministic packages must not *reach*
+//     time.Now or the global math/rand stream through any chain of
+//     module-internal calls (transitive call-graph analysis);
+//   - nanguard          — divisions and math.Log*/math.Sqrt fed by
+//     unguarded external inputs (NaN/Inf sources).
 //
 // Findings can be suppressed, with a mandatory reason, by a
 // "//pablint:ignore <rules> <reason>" comment on the offending line,
 // on the line directly above it, or — before the package clause — for
-// a whole file. See DESIGN.md §11.
+// a whole file. Machine consumers get a stable JSON schema and a
+// baseline mechanism (json.go). See DESIGN.md §11.
 package lint
 
 import (
@@ -31,8 +40,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one rule violation at a source position.
@@ -40,11 +51,21 @@ type Finding struct {
 	Pos  token.Position
 	Rule string
 	Msg  string
+	// Suppressed marks a finding covered by a reasoned pablint:ignore
+	// directive; SuppressReason carries the directive's reason. RunAll
+	// keeps suppressed findings (the JSON output reports them), Run
+	// drops them.
+	Suppressed     bool
+	SuppressReason string
 }
 
 // String formats a finding the way compilers do: file:line:col: rule: msg.
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+	if f.Suppressed {
+		s += fmt.Sprintf(" [suppressed: %s]", f.SuppressReason)
+	}
+	return s
 }
 
 // Pass is the per-package unit of work handed to an analyzer: one
@@ -86,6 +107,11 @@ type Program struct {
 	// Loader gives whole-program rules access to packages outside the
 	// requested pattern (e.g. the telemetry name registry).
 	Loader *Loader
+
+	// flowOnce/flowGraph cache the module call graph shared by the
+	// seedflow passes; built on first use, safe under parallel Run.
+	flowOnce  sync.Once
+	flowGraph *callGraph
 }
 
 // Config parameterises the analyzers so the same rules run over the
@@ -98,6 +124,16 @@ type Config struct {
 	PhysicsPkgs []string
 	// HotPathPkgs are import paths subject to the errdiscard rule.
 	HotPathPkgs []string
+	// FlowPkgs are import paths subject to the flow-sensitive physics
+	// rules (dimflow, nanguard).
+	FlowPkgs []string
+	// ImpurityExemptPkgs are module packages whose nondeterminism does
+	// not propagate through the seedflow call graph (the telemetry
+	// layer timestamps observations by design).
+	ImpurityExemptPkgs []string
+	// UnitsPkg is the import path of the units package whose DB type
+	// and conversion functions anchor the dimflow lattice.
+	UnitsPkg string
 	// TelemetryPkg is the import path of the metrics registry package;
 	// its exported string-typed constants form the registered metric
 	// namespace.
@@ -133,6 +169,21 @@ func DefaultConfig() *Config {
 			"pab/internal/core",
 			"pab/internal/dsp",
 		},
+		FlowPkgs: []string{
+			"pab/internal/piezo",
+			"pab/internal/channel",
+			"pab/internal/acoustics",
+			"pab/internal/circuit",
+			"pab/internal/rectifier",
+			"pab/internal/phy",
+			"pab/internal/hydrophone",
+			"pab/internal/projector",
+			"pab/internal/units",
+		},
+		ImpurityExemptPkgs: []string{
+			"pab/internal/telemetry",
+		},
+		UnitsPkg:     "pab/internal/units",
 		TelemetryPkg: "pab/internal/telemetry",
 		EpsilonHelpers: map[string][]string{
 			"pab/internal/units": {"ApproxEqual"},
@@ -149,6 +200,9 @@ func Analyzers(cfg *Config) []*Analyzer {
 		UnitSafetyAnalyzer(),
 		TelemetryHygieneAnalyzer(),
 		ErrDiscardAnalyzer(),
+		DimFlowAnalyzer(),
+		SeedFlowAnalyzer(),
+		NanGuardAnalyzer(),
 	}
 }
 
@@ -166,32 +220,80 @@ func hasPath(list []string, path string) bool {
 // comments, and returns the surviving findings sorted by position.
 // Malformed suppressions (no reason given) are themselves findings.
 func Run(prog *Program, cfg *Config, analyzers []*Analyzer) []Finding {
-	var raw []Finding
+	all := RunAll(prog, cfg, analyzers)
+	var out []Finding
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RunAll is Run without the suppression filter: suppressed findings
+// are kept, marked with the directive's reason, so machine consumers
+// (the JSON output, baselines) see the whole picture.
+//
+// Packages × analyzers fan out over a bounded worker pool; every task
+// writes into its own slot, so the merged output is deterministic
+// regardless of scheduling, then findings are sorted by position and
+// deduplicated (two analyzers reporting the identical message at the
+// identical position collapse to one finding).
+func RunAll(prog *Program, cfg *Config, analyzers []*Analyzer) []Finding {
+	type task struct {
+		pkg *Package
+		a   *Analyzer
+	}
+	var tasks []task
 	for _, pkg := range prog.Pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{
-				Pkg:      pkg,
-				Prog:     prog,
-				Cfg:      cfg,
-				fset:     prog.Loader.Fset,
-				findings: &raw,
-				rule:     a.Name,
-			}
-			a.Run(pass)
+			tasks = append(tasks, task{pkg, a})
 		}
 	}
 
-	sup, bad := collectSuppressions(prog)
-	var out []Finding
-	for _, f := range raw {
-		if sup.suppresses(f) {
-			continue
-		}
-		out = append(out, f)
+	results := make([][]Finding, len(tasks))
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		wg.Add(1)
+		go func(i int, t task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var fs []Finding
+			t.a.Run(&Pass{
+				Pkg:      t.pkg,
+				Prog:     prog,
+				Cfg:      cfg,
+				fset:     prog.Loader.Fset,
+				findings: &fs,
+				rule:     t.a.Name,
+			})
+			results[i] = fs
+		}(i, t)
 	}
-	out = append(out, bad...)
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	wg.Wait()
+
+	var raw []Finding
+	for _, fs := range results {
+		raw = append(raw, fs...)
+	}
+
+	sup, bad := collectSuppressions(prog)
+	for i := range raw {
+		if reason, ok := sup.match(raw[i]); ok {
+			raw[i].Suppressed = true
+			raw[i].SuppressReason = reason
+		}
+	}
+	raw = append(raw, bad...)
+	sortFindings(raw)
+	return dedupeFindings(raw)
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -203,52 +305,116 @@ func Run(prog *Program, cfg *Config, analyzers []*Analyzer) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
+}
+
+// dedupeFindings collapses findings with identical position and
+// message (two rules arriving at the same conclusion) down to the
+// first — after sorting, the one with the alphabetically first rule.
+// Input must be sorted by position.
+func dedupeFindings(fs []Finding) []Finding {
+	out := fs[:0]
+	seen := make(map[string]bool)
+	var prevFile string
+	var prevLine, prevCol int
+	for _, f := range fs {
+		if f.Pos.Filename != prevFile || f.Pos.Line != prevLine || f.Pos.Column != prevCol {
+			clear(seen)
+			prevFile, prevLine, prevCol = f.Pos.Filename, f.Pos.Line, f.Pos.Column
+		}
+		if seen[f.Msg] {
+			continue
+		}
+		seen[f.Msg] = true
+		out = append(out, f)
+	}
 	return out
 }
 
 // ignorePrefix introduces a suppression comment.
 const ignorePrefix = "//pablint:ignore"
 
-// suppressions indexes ignore comments by file.
-type suppressions struct {
-	// line maps file -> line -> rules suppressed on that line.
-	line map[string]map[int][]string
-	// file maps file -> rules suppressed for the whole file.
-	file map[string][]string
+// directive is one parsed pablint:ignore comment.
+type directive struct {
+	rules  []string
+	reason string
 }
 
-func (s *suppressions) suppresses(f Finding) bool {
-	if rules, ok := s.file[f.Pos.Filename]; ok && matchRule(rules, f.Rule) {
-		return true
+// parseIgnoreDirective parses the text of a "//pablint:ignore
+// <rule>[,<rule>] <reason>" comment. isDirective is false when the
+// comment is not an ignore directive at all (including
+// "//pablint:ignoreX", which is some other word); malformed is true
+// for a directive missing its rule list or reason — those are
+// reported, never honoured. On success rules is non-empty, every rule
+// is non-empty, and reason is a non-empty single-spaced string.
+func parseIgnoreDirective(text string) (rules []string, reason string, isDirective, malformed bool) {
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return nil, "", false, false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, "", true, true
+	}
+	for _, r := range strings.Split(fields[0], ",") {
+		if r == "" {
+			return nil, "", true, true
+		}
+		rules = append(rules, r)
+	}
+	return rules, strings.Join(fields[1:], " "), true, false
+}
+
+// suppressions indexes ignore directives by file.
+type suppressions struct {
+	// line maps file -> line -> directives on that line.
+	line map[string]map[int][]directive
+	// file maps file -> whole-file directives (written before, or
+	// trailing, the package clause).
+	file map[string][]directive
+}
+
+// match reports whether f is covered by a directive and returns the
+// directive's reason.
+func (s *suppressions) match(f Finding) (string, bool) {
+	if reason, ok := matchRule(s.file[f.Pos.Filename], f.Rule); ok {
+		return reason, true
 	}
 	byLine := s.line[f.Pos.Filename]
 	if byLine == nil {
-		return false
+		return "", false
 	}
 	// A comment suppresses findings on its own line and on the line
 	// directly below it (the usual "comment above the statement" form).
-	if matchRule(byLine[f.Pos.Line], f.Rule) || matchRule(byLine[f.Pos.Line-1], f.Rule) {
-		return true
+	if reason, ok := matchRule(byLine[f.Pos.Line], f.Rule); ok {
+		return reason, true
 	}
-	return false
+	return matchRule(byLine[f.Pos.Line-1], f.Rule)
 }
 
-func matchRule(rules []string, rule string) bool {
-	for _, r := range rules {
-		if r == rule || r == "all" {
-			return true
+func matchRule(dirs []directive, rule string) (string, bool) {
+	for _, d := range dirs {
+		for _, r := range d.rules {
+			if r == rule || r == "all" {
+				return d.reason, true
+			}
 		}
 	}
-	return false
+	return "", false
 }
 
 // collectSuppressions scans every file's comments for pablint:ignore
 // directives. A directive without a reason is reported as a finding of
 // rule "suppression" rather than honoured — suppressions must say why.
+// Directives before the package clause — or trailing it — are
+// file-wide, and in particular cover findings reported at the package
+// clause itself; anything later is line-scoped.
 func collectSuppressions(prog *Program) (*suppressions, []Finding) {
 	s := &suppressions{
-		line: make(map[string]map[int][]string),
-		file: make(map[string][]string),
+		line: make(map[string]map[int][]directive),
+		file: make(map[string][]directive),
 	}
 	var bad []Finding
 	fset := prog.Loader.Fset
@@ -258,13 +424,12 @@ func collectSuppressions(prog *Program) (*suppressions, []Finding) {
 			fileName := fset.Position(f.Package).Filename
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
-					if !ok {
+					rules, reason, isDirective, malformed := parseIgnoreDirective(c.Text)
+					if !isDirective {
 						continue
 					}
 					pos := fset.Position(c.Pos())
-					fields := strings.Fields(rest)
-					if len(fields) < 2 {
+					if malformed {
 						bad = append(bad, Finding{
 							Pos:  pos,
 							Rule: "suppression",
@@ -272,15 +437,15 @@ func collectSuppressions(prog *Program) (*suppressions, []Finding) {
 						})
 						continue
 					}
-					rules := strings.Split(fields[0], ",")
-					if pos.Line < pkgLine {
-						s.file[fileName] = append(s.file[fileName], rules...)
+					d := directive{rules: rules, reason: reason}
+					if pos.Line <= pkgLine {
+						s.file[fileName] = append(s.file[fileName], d)
 						continue
 					}
 					if s.line[fileName] == nil {
-						s.line[fileName] = make(map[int][]string)
+						s.line[fileName] = make(map[int][]directive)
 					}
-					s.line[fileName][pos.Line] = append(s.line[fileName][pos.Line], rules...)
+					s.line[fileName][pos.Line] = append(s.line[fileName][pos.Line], d)
 				}
 			}
 		}

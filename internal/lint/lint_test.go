@@ -1,6 +1,10 @@
 package lint
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -8,35 +12,50 @@ import (
 	"testing"
 )
 
-// runFixtures loads the testdata module (which reuses the pab module
-// path so DefaultConfig applies verbatim) and runs the full suite.
-func runFixtures(t *testing.T) ([]Finding, string) {
-	t.Helper()
+// fixtureProgram loads the testdata module (which reuses the pab
+// module path so DefaultConfig applies verbatim).
+func fixtureProgram(tb testing.TB) (*Program, *Config) {
+	tb.Helper()
 	root, err := filepath.Abs(filepath.Join("testdata", "src"))
 	if err != nil {
-		t.Fatal(err)
+		tb.Fatal(err)
 	}
+	prog, cfg, err := loadProgram(root)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return prog, cfg
+}
+
+// loadProgram loads every package of the module rooted at root.
+func loadProgram(root string) (*Program, *Config, error) {
 	ld, err := NewModuleLoader(root)
 	if err != nil {
-		t.Fatal(err)
+		return nil, nil, err
 	}
 	paths, err := ld.ModulePackages("./...")
 	if err != nil {
-		t.Fatal(err)
+		return nil, nil, err
 	}
 	if len(paths) == 0 {
-		t.Fatal("no fixture packages found")
+		return nil, nil, fmt.Errorf("no packages found under %s", root)
 	}
 	var pkgs []*Package
 	for _, p := range paths {
 		pkg, err := ld.Load(p)
 		if err != nil {
-			t.Fatalf("loading %s: %v", p, err)
+			return nil, nil, fmt.Errorf("loading %s: %w", p, err)
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	cfg := DefaultConfig()
-	return Run(&Program{Pkgs: pkgs, Loader: ld}, cfg, Analyzers(cfg)), root
+	return &Program{Pkgs: pkgs, Loader: ld}, DefaultConfig(), nil
+}
+
+// runFixtures runs the full suite over the fixture module.
+func runFixtures(t *testing.T) ([]Finding, string) {
+	t.Helper()
+	prog, cfg := fixtureProgram(t)
+	return Run(prog, cfg, Analyzers(cfg)), prog.Loader.ModRoot
 }
 
 // expectation is one parsed `// want "regex"` comment.
@@ -170,6 +189,223 @@ func TestRuleCoverage(t *testing.T) {
 	for _, a := range Analyzers(DefaultConfig()) {
 		if !fired[a.Name] {
 			t.Errorf("rule %s produced no findings on the fixtures", a.Name)
+		}
+	}
+}
+
+// TestFileWideSuppression covers the directive-placement contract: a
+// directive before the package clause is file-wide, so it silences the
+// unitsafety finding inside filewide.go AND would cover a finding
+// reported at the package clause line itself.
+func TestFileWideSuppression(t *testing.T) {
+	prog, cfg := fixtureProgram(t)
+	all := RunAll(prog, cfg, Analyzers(cfg))
+
+	file := filepath.Join(prog.Loader.ModRoot, "internal", "piezo", "filewide.go")
+	found := false
+	for _, f := range all {
+		if f.Pos.Filename != file {
+			continue
+		}
+		if f.Rule != "unitsafety" {
+			t.Errorf("unexpected %s finding in filewide.go: %s", f.Rule, f)
+			continue
+		}
+		found = true
+		if !f.Suppressed {
+			t.Errorf("unitsafety finding in filewide.go not suppressed: %s", f)
+		}
+		if f.SuppressReason == "" {
+			t.Errorf("suppressed finding lost its reason: %s", f)
+		}
+	}
+	if !found {
+		t.Fatal("expected a suppressed unitsafety finding in filewide.go")
+	}
+
+	// The package clause itself must be covered by the directive above
+	// it — this is the regression the pos.Line <= pkgLine rule fixes.
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgLine := 0
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "package ") {
+			pkgLine = i + 1
+			break
+		}
+	}
+	if pkgLine == 0 {
+		t.Fatal("no package clause in filewide.go")
+	}
+	sup, _ := collectSuppressions(prog)
+	synthetic := Finding{
+		Pos:  token.Position{Filename: file, Line: pkgLine, Column: 1},
+		Rule: "unitsafety",
+		Msg:  "synthetic finding at the package clause",
+	}
+	if _, ok := sup.match(synthetic); !ok {
+		t.Errorf("file-level directive does not cover a finding at the package clause (line %d)", pkgLine)
+	}
+}
+
+// TestDedupeFindings exercises the identical-position-and-message
+// collapse on synthetic findings.
+func TestDedupeFindings(t *testing.T) {
+	pos := token.Position{Filename: "a.go", Line: 3, Column: 7}
+	fs := []Finding{
+		{Pos: pos, Rule: "dimflow", Msg: "same conclusion"},
+		{Pos: pos, Rule: "unitsafety", Msg: "same conclusion"},
+		{Pos: pos, Rule: "unitsafety", Msg: "different conclusion"},
+		{Pos: token.Position{Filename: "a.go", Line: 4, Column: 7}, Rule: "dimflow", Msg: "same conclusion"},
+	}
+	sortFindings(fs)
+	out := dedupeFindings(fs)
+	if len(out) != 3 {
+		t.Fatalf("dedupe kept %d findings, want 3: %v", len(out), out)
+	}
+	if out[0].Rule != "dimflow" || out[0].Msg != "same conclusion" {
+		t.Errorf("dedupe should keep the alphabetically first rule, got %s", out[0].Rule)
+	}
+}
+
+// TestJSONReportSchema pins the machine-readable contract: schema
+// version, module-root-relative slash paths, and suppression marking.
+func TestJSONReportSchema(t *testing.T) {
+	prog, cfg := fixtureProgram(t)
+	all := RunAll(prog, cfg, Analyzers(cfg))
+	report := NewJSONReport(prog.Loader.ModPath, prog.Loader.ModRoot, all)
+
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report does not round-trip through encoding/json: %v", err)
+	}
+	if decoded.Version != jsonSchemaVersion {
+		t.Errorf("schema version %d, want %d", decoded.Version, jsonSchemaVersion)
+	}
+	if decoded.Module != "pab" {
+		t.Errorf("module %q, want pab", decoded.Module)
+	}
+	if len(decoded.Findings) != len(all) {
+		t.Fatalf("%d findings in report, want %d", len(decoded.Findings), len(all))
+	}
+	sawSuppressed := false
+	for _, f := range decoded.Findings {
+		if filepath.IsAbs(f.File) || strings.Contains(f.File, "\\") {
+			t.Errorf("finding path %q is not a relative slash path", f.File)
+		}
+		if f.Rule == "" || f.Message == "" || f.Line <= 0 {
+			t.Errorf("incomplete finding in report: %+v", f)
+		}
+		if f.Suppressed {
+			sawSuppressed = true
+			if f.SuppressReason == "" {
+				t.Errorf("suppressed finding without a reason: %+v", f)
+			}
+		}
+	}
+	if !sawSuppressed {
+		t.Error("fixture report contains no suppressed finding; the schema's suppression fields are untested")
+	}
+}
+
+// TestBaselineRoundTrip is the acceptance criterion for -baseline: a
+// dirty tree checked against its own baseline is clean, and one new
+// violation fails.
+func TestBaselineRoundTrip(t *testing.T) {
+	prog, cfg := fixtureProgram(t)
+	all := RunAll(prog, cfg, Analyzers(cfg))
+	report := NewJSONReport(prog.Loader.ModPath, prog.Loader.ModRoot, all)
+
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh := base.FilterNew(prog.Loader.ModRoot, all); len(fresh) != 0 {
+		t.Fatalf("tree against its own baseline reports %d new findings: %v", len(fresh), fresh)
+	}
+
+	extra := append(append([]Finding{}, all...), Finding{
+		Pos:  token.Position{Filename: filepath.Join(prog.Loader.ModRoot, "internal", "dsp", "dsp.go"), Line: 9, Column: 1},
+		Rule: "floatcmp",
+		Msg:  "synthetic brand-new violation",
+	})
+	fresh := base.FilterNew(prog.Loader.ModRoot, extra)
+	if len(fresh) != 1 || fresh[0].Msg != "synthetic brand-new violation" {
+		t.Fatalf("one new violation should surface exactly once, got %v", fresh)
+	}
+}
+
+// FuzzParseIgnoreDirective asserts the directive parser's contract on
+// arbitrary comment text: it never panics, non-directives are never
+// malformed, and successful parses have non-empty rules and a
+// single-spaced non-empty reason.
+func FuzzParseIgnoreDirective(f *testing.F) {
+	f.Add("//pablint:ignore floatcmp exact divider outputs")
+	f.Add("//pablint:ignore floatcmp")
+	f.Add("//pablint:ignore floatcmp,dimflow two rules, one reason")
+	f.Add("//pablint:ignoreX not a directive")
+	f.Add("//pablint:ignore")
+	f.Add("// plain comment")
+	f.Add("//pablint:ignore ,, empty rules")
+	f.Add("//pablint:ignore\tall\ttabs everywhere")
+	f.Fuzz(func(t *testing.T, text string) {
+		rules, reason, isDirective, malformed := parseIgnoreDirective(text)
+		if !isDirective {
+			if malformed || rules != nil || reason != "" {
+				t.Fatalf("non-directive %q returned (%v, %q, malformed=%v)", text, rules, reason, malformed)
+			}
+			return
+		}
+		if malformed {
+			if rules != nil || reason != "" {
+				t.Fatalf("malformed directive %q leaked partial results (%v, %q)", text, rules, reason)
+			}
+			return
+		}
+		if len(rules) == 0 {
+			t.Fatalf("well-formed directive %q has no rules", text)
+		}
+		for _, r := range rules {
+			if r == "" || strings.ContainsAny(r, " \t") {
+				t.Fatalf("directive %q produced bad rule %q", text, r)
+			}
+		}
+		if reason == "" || reason != strings.Join(strings.Fields(reason), " ") {
+			t.Fatalf("directive %q produced non-normalised reason %q", text, reason)
+		}
+	})
+}
+
+// BenchmarkLintTree times the full suite over the real module tree —
+// load once, analyze per iteration — so parallelism regressions and
+// accidentally quadratic analyzers show up in CI benchmarks.
+func BenchmarkLintTree(b *testing.B) {
+	prog, cfg, err := loadProgram(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzers := Analyzers(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh Program reuses the loaded packages but rebuilds the
+		// seedflow call-graph cache, matching a cold pablint run.
+		iterProg := &Program{Pkgs: prog.Pkgs, Loader: prog.Loader}
+		if fs := RunAll(iterProg, cfg, analyzers); len(fs) == 0 {
+			b.Fatal("suite produced no findings at all (suppressed ones count); wiring broken?")
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package, ready for
@@ -43,6 +44,10 @@ type Loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package
 	loading map[string]bool
+	// mu serialises Load: analyzers run in parallel and several of
+	// them (telemetryhygiene, seedflow, dimflow) lazily load packages
+	// outside the requested pattern.
+	mu sync.Mutex
 }
 
 // NewLoader returns a loader for the module rooted at modRoot with the
@@ -103,10 +108,12 @@ func findModule(dir string) (root, path string, err error) {
 }
 
 // Import implements types.Importer: module-internal paths load from the
-// module tree, everything else from the standard library.
+// module tree, everything else from the standard library. It is only
+// invoked by the type checker from inside an active Load, so it uses
+// the unlocked path (the mutex is already held).
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if l.isModulePath(path) {
-		pkg, err := l.Load(path)
+		pkg, err := l.load(path)
 		if err != nil {
 			return nil, err
 		}
@@ -130,8 +137,15 @@ func (l *Loader) dirFor(path string) string {
 
 // Load parses and type-checks the module package with the given import
 // path (and, recursively, its module-internal dependencies). Results
-// are cached; test files are excluded.
+// are cached; test files are excluded. Safe for concurrent use.
 func (l *Loader) Load(path string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.load(path)
+}
+
+// load is Load without the lock, for recursive use via Import.
+func (l *Loader) load(path string) (*Package, error) {
 	if pkg, ok := l.pkgs[path]; ok {
 		return pkg, nil
 	}

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SeedFlowAnalyzer lifts the determinism rule from "no direct
+// time.Now / global math/rand" to a transitive property of the call
+// graph: a function in a deterministic package must not *reach* a
+// nondeterminism source through any chain of module-internal calls.
+// Without this, the direct rule is trivially laundered:
+//
+//	func stamp() int64 { return time.Now().UnixNano() } // flagged (determinism)
+//	func Jitter() int64 { return stamp() }              // was invisible — flagged here
+//
+// The analyzer builds one static call graph over the whole module
+// (direct calls, package-qualified calls, and concrete method calls;
+// interface dispatch is invisible, which is exactly what keeps
+// injected clocks and seeded rand sources legal), marks every function
+// that itself calls time.Now/Since/Until or the global math/rand
+// stream as impure, propagates impurity callee→caller to a fixpoint,
+// and reports — in deterministic packages only — every call whose
+// static callee is a transitively impure module function. The message
+// carries the witness chain down to the stdlib sink.
+//
+// Direct stdlib sink calls stay the determinism rule's territory, so
+// the two rules partition the problem and never double-report.
+// Packages in Config.ImpurityExemptPkgs (the telemetry layer, which
+// timestamps observations by design) neither propagate impurity nor
+// get their callers flagged.
+func SeedFlowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "seedflow",
+		Doc:  "deterministic packages must not reach time.Now/global rand through any module-internal call chain",
+		Run:  runSeedFlow,
+	}
+}
+
+// callEdge is one static call site.
+type callEdge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// callNode is one module function in the graph.
+type callNode struct {
+	fn      *types.Func
+	pkgPath string
+	calls   []callEdge
+	impure  bool
+	// chain is the witness path from this function to the stdlib sink,
+	// e.g. ["fault.stamp", "time.Now"]. For a directly impure function
+	// it is just the sink.
+	chain []string
+}
+
+// callGraph is the module-wide static call graph, built once per
+// Program and shared by every seedflow pass.
+type callGraph struct {
+	nodes map[*types.Func]*callNode
+}
+
+// seedGraph returns the program's call graph, building it on first
+// use. Safe for concurrent passes via Program.flowOnce.
+func seedGraph(pass *Pass) *callGraph {
+	prog := pass.Prog
+	prog.flowOnce.Do(func() {
+		prog.flowGraph = buildCallGraph(prog, pass.Cfg)
+	})
+	return prog.flowGraph
+}
+
+// buildCallGraph scans every module package reachable from the run —
+// the requested packages plus their module-internal imports, which the
+// loader has already parsed and type-checked — and returns the
+// propagated graph.
+func buildCallGraph(prog *Program, cfg *Config) *callGraph {
+	g := &callGraph{nodes: make(map[*types.Func]*callNode)}
+
+	// Gather the package set: requested packages plus module-internal
+	// imports, breadth-first, deterministically ordered.
+	byPath := make(map[string]*Package)
+	var queue []string
+	add := func(pkg *Package) {
+		if pkg == nil || byPath[pkg.Path] != nil {
+			return
+		}
+		byPath[pkg.Path] = pkg
+		queue = append(queue, pkg.Path)
+	}
+	for _, pkg := range prog.Pkgs {
+		add(pkg)
+	}
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		pkg := byPath[path]
+		for _, imp := range pkg.Types.Imports() {
+			if !prog.Loader.isModulePath(imp.Path()) {
+				continue
+			}
+			if dep, err := prog.Loader.Load(imp.Path()); err == nil {
+				add(dep)
+			}
+		}
+	}
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	// Nodes and edges. FuncLit bodies are attributed to the enclosing
+	// declaration: a closure calling the clock makes its owner impure.
+	var order []*callNode // deterministic propagation order
+	for _, path := range paths {
+		pkg := byPath[path]
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &callNode{fn: fn, pkgPath: path}
+				g.nodes[fn] = node
+				order = append(order, node)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if path, name, ok := pkgFunc(pkg, call); ok {
+						switch {
+						case path == "time" && (name == "Now" || name == "Since" || name == "Until"):
+							node.markImpure("time." + name)
+							return true
+						case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
+							node.markImpure("math/rand." + name)
+							return true
+						}
+					}
+					if callee := staticCallee(pkg, call); callee != nil {
+						if callee.Pkg() != nil && prog.Loader.isModulePath(callee.Pkg().Path()) {
+							node.calls = append(node.calls, callEdge{callee: callee, pos: call.Pos()})
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Propagate impurity callee→caller to a fixpoint. Exempt packages
+	// absorb: their impurity never escapes into callers.
+	callers := make(map[*types.Func][]*callNode)
+	for _, n := range order {
+		for _, e := range n.calls {
+			callers[e.callee] = append(callers[e.callee], n)
+		}
+	}
+	var work []*callNode
+	for _, n := range order {
+		if n.impure {
+			work = append(work, n)
+		}
+	}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		if hasPath(cfg.ImpurityExemptPkgs, n.pkgPath) {
+			continue
+		}
+		for _, caller := range callers[n.fn] {
+			if caller.impure {
+				continue
+			}
+			caller.impure = true
+			caller.chain = witnessChain(n)
+			work = append(work, caller)
+		}
+	}
+	return g
+}
+
+func (n *callNode) markImpure(sink string) {
+	if !n.impure {
+		n.impure = true
+		n.chain = []string{sink}
+	}
+}
+
+// witnessChain prefixes the callee's display name to its own chain,
+// capped so messages stay readable on deep graphs.
+func witnessChain(n *callNode) []string {
+	const maxChain = 5
+	chain := append([]string{funcDisplayName(n.fn)}, n.chain...)
+	if len(chain) > maxChain {
+		chain = append(chain[:maxChain-1], chain[len(chain)-1])
+	}
+	return chain
+}
+
+// funcDisplayName renders pkg.Func or pkg.Type.Method.
+func funcDisplayName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// staticCallee resolves a call expression to its statically known
+// callee: a package-level function (local or imported) or a concrete
+// method. Interface methods and func-typed values return nil — those
+// are dynamic, and deliberately invisible so dependency injection
+// works.
+func staticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[f]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if types.IsInterface(sig.Recv().Type()) {
+					return nil
+				}
+			}
+			return fn
+		}
+		// Package-qualified: pkg.Fn.
+		if fn, ok := pkg.Info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func runSeedFlow(pass *Pass) {
+	if !hasPath(pass.Cfg.DeterministicPkgs, pass.Pkg.Path) {
+		return
+	}
+	g := seedGraph(pass)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(pass.Pkg, call)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				node := g.nodes[callee]
+				if node == nil || !node.impure {
+					return true
+				}
+				if hasPath(pass.Cfg.ImpurityExemptPkgs, node.pkgPath) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"call to %s reaches a nondeterminism sink (%s); inject a clock or seeded *rand.Rand instead",
+					funcDisplayName(callee),
+					strings.Join(append([]string{funcDisplayName(callee)}, node.chain...), " → "))
+				return true
+			})
+		}
+	}
+}

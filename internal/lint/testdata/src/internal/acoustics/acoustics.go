@@ -1,0 +1,79 @@
+// Package acoustics is a dimflow-rule fixture: arithmetic between
+// differently dimensioned values, dB/linear confusion and double
+// conversions are flagged; constants, same-unit sums and compound
+// quotients stay legal.
+package acoustics
+
+import (
+	"math"
+
+	"pab/internal/units"
+)
+
+// SpreadPlusDelay adds a distance to a time.
+func SpreadPlusDelay(rangeM float64, delayS float64) float64 {
+	return rangeM + delayS // want "unit mixing: arithmetic between m and s values"
+}
+
+// Deeper compares a depth against a time window.
+func Deeper(depthM float64, windowS float64) bool {
+	return depthM < windowS // want "unit mixing: comparison of m and s values"
+}
+
+// MixGain adds a dB-scale gain to a linear voltage.
+func MixGain(gainDB float64, ampV float64) float64 {
+	return gainDB + ampV // want "dB/linear mixing: arithmetic between a dB-scale value and a linear V value"
+}
+
+// ComposeGains multiplies two dB-scale values; dB compose by addition.
+func ComposeGains(aDB float64, bDB float64) float64 {
+	return aDB * bDB // want "dB × dB: multiplying two dB-scale values"
+}
+
+// ScaleSpan multiplies a dB value by a linear distance.
+func ScaleSpan(gainDB float64, spanM float64) float64 {
+	return gainDB * spanM // want "dB × linear: multiplying a dB-scale value by a m value"
+}
+
+// DoubleConvert re-converts a value that is already in dB.
+func DoubleConvert(snr float64) units.DB {
+	level := units.PowerToDB(snr)
+	return units.PowerToDB(float64(level)) // want "double conversion: PowerToDB applied to a value already on a dB scale"
+}
+
+// DoubleLog takes the log of a value already on a log scale.
+func DoubleLog(levelDB float64) float64 {
+	if levelDB <= 0 {
+		return 0
+	}
+	return math.Log10(levelDB) // want "math.Log10 of a value already on a dB scale"
+}
+
+// MintDB casts a linear watt value straight into the dB type.
+func MintDB(sigW float64) units.DB {
+	return units.DB(sigW) // want "units.DB cast of a linear W value"
+}
+
+// ScaleFreq is legal: constants are wildcards.
+func ScaleFreq(freqHz float64) float64 {
+	return 2 * freqHz
+}
+
+// SumFreqs is legal: both operands carry the same unit.
+func SumFreqs(carrierHz float64, offsetHz float64) float64 {
+	return carrierHz + offsetHz
+}
+
+// TravelTime is legal: compound quotients (m over m/s) are untracked
+// by design — the lattice only keeps certain knowledge.
+func TravelTime(spanM float64, speedMS float64) float64 {
+	if speedMS <= 0 {
+		return 0
+	}
+	return spanM / speedMS
+}
+
+// Level converts a linear ratio through the proper conversion helper.
+func Level(ratio float64) units.DB {
+	return units.PowerToDB(ratio)
+}

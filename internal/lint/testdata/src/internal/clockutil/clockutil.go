@@ -1,0 +1,12 @@
+// Package clockutil is a seedflow fixture helper: it is not a
+// deterministic package, so its direct clock read is legal here — the
+// point is that deterministic packages must not *reach* it through any
+// call chain.
+package clockutil
+
+import "time"
+
+// Jitter derives a value from the wall clock.
+func Jitter() float64 {
+	return float64(time.Now().UnixNano()%1000000) / 1000000
+}

@@ -59,3 +59,10 @@ func CountDynamic(suffix string) {
 func CountRegistry(r *telemetry.Registry, name telemetry.Name) {
 	r.Inc(name) // a checked Name value: legal
 }
+
+// ObserveFrame records a timestamped sample: telemetry's clock use is
+// exempt from seedflow propagation by design, so this is legal even in
+// a deterministic package.
+func ObserveFrame() {
+	telemetry.Observe(telemetry.MGoodTotal)
+}

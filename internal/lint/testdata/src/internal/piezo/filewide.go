@@ -1,0 +1,12 @@
+// File-wide suppression regression: a directive written before the
+// package clause covers the entire file, including findings reported
+// at the package clause line itself.
+
+//pablint:ignore unitsafety fixture: file-wide suppression placement is under test
+package piezo
+
+// SwapProne would trip unitsafety, but the file-wide directive above
+// covers it.
+func SwapProne(a float64, b float64) float64 {
+	return a + b
+}

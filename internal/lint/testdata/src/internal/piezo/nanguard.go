@@ -1,0 +1,64 @@
+// Nanguard fixtures: divisions and domain-limited math calls fed by
+// unvalidated external inputs are flagged; guards, squares and
+// package-private storage are trusted.
+package piezo
+
+import "math"
+
+// Transducer's exported fields arrive from callers unvalidated.
+type Transducer struct {
+	QFactor float64
+}
+
+// mount stores a transducer behind an unexported field, so its values
+// were written by this package.
+type mount struct {
+	inner Transducer
+}
+
+// Bandwidth divides by an exported field no caller has validated.
+func Bandwidth(freqHz float64, t Transducer) float64 {
+	return freqHz / t.QFactor // want "possible NaN/Inf: division by t.QFactor"
+}
+
+// SafeBandwidth validates the divisor first: legal.
+func SafeBandwidth(freqHz float64, t Transducer) float64 {
+	if t.QFactor <= 0 {
+		return 0
+	}
+	return freqHz / t.QFactor
+}
+
+// MountedBandwidth reads the same field through an unexported link:
+// the value was stored by this package, so it is trusted.
+func MountedBandwidth(freqHz float64, m mount) float64 {
+	return freqHz / m.inner.QFactor
+}
+
+// LossExponent takes the log of an unvalidated input.
+func LossExponent(atten float64) float64 {
+	return math.Log10(atten) // want "possible NaN/Inf: math.Log10 of atten"
+}
+
+// Spread square-roots an unvalidated input.
+func Spread(delaySpreadS float64) float64 {
+	return math.Sqrt(delaySpreadS) // want "possible NaN: math.Sqrt of delaySpreadS"
+}
+
+// Magnitude pairs factors into squares: nonnegative by construction.
+func Magnitude(iV float64, qV float64) float64 {
+	return math.Sqrt(iV*iV + qV*qV)
+}
+
+// InverseMagnitude divides by a root that is provably positive — the
+// product chain iV*iV*qV*qV pairs into squares even though Go parses
+// it left-associatively.
+func InverseMagnitude(iV float64, qV float64) float64 {
+	return 1 / math.Sqrt(1+iV*iV*qV*qV)
+}
+
+// SplitBits is integer division: Inf/NaN are float phenomena, so the
+// rule leaves it alone.
+func SplitBits(frameBits int, symbols int) int {
+	return frameBits / symbols
+}

@@ -74,5 +74,8 @@ func (m *Manchester) Decode(wave []float64, nbits int) []Bit {
 
 // Bitrate returns the data rate in bit/s at sample rate fs.
 func (m *Manchester) Bitrate(fs float64) float64 {
+	if m.SamplesPerBit <= 0 {
+		return 0
+	}
 	return fs / float64(m.SamplesPerBit)
 }

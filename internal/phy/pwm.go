@@ -101,6 +101,9 @@ func SchmittTrigger(env []float64, highFrac, lowFrac float64) []bool {
 // the intervals between falling edges (the MCU's interrupt-driven decode,
 // §4.2.2). It tolerates ±30% timing error per symbol.
 func (p *PWM) Decode(levels []bool) []Bit {
+	if p.UnitSamples <= 0 {
+		return nil
+	}
 	edges := fallingEdges(levels)
 	if len(edges) == 0 {
 		return nil

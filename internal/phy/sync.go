@@ -149,6 +149,10 @@ func EstimateCFO(bb []complex128, fs float64) float64 {
 // offset (Hz), returning a new slice.
 func CorrectCFO(bb []complex128, cfo, fs float64) []complex128 {
 	out := make([]complex128, len(bb))
+	if fs <= 0 {
+		copy(out, bb)
+		return out
+	}
 	w := -2 * math.Pi * cfo / fs
 	for i, v := range bb {
 		ph := w * float64(i)

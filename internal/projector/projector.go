@@ -124,6 +124,9 @@ func (p *Projector) MultiTone(tones []Tone, duration float64) ([]float64, error)
 // QueryDuration returns the on-air duration in seconds of a PWM query
 // with the given unit size (worst case: all-ones bits).
 func (p *Projector) QueryDuration(unitSamples int) float64 {
+	if p.SampleRate <= 0 {
+		return 0
+	}
 	bits := len(phy.PreambleBits) + frame.QueryBitLength
 	return float64(bits*3*unitSamples) / p.SampleRate
 }

@@ -86,7 +86,7 @@ func (r Rectifier) OutputResistance() float64 {
 // rectifier's input resistance into the corresponding sinusoidal peak
 // voltage: P = V²/(2R) ⇒ V = √(2PR).
 func (r Rectifier) InputPeakFromPower(p float64) float64 {
-	if p <= 0 {
+	if p <= 0 || r.InputResistance <= 0 {
 		return 0
 	}
 	return math.Sqrt(2 * p * r.InputResistance)
@@ -149,7 +149,7 @@ func (s *Supercap) SetVoltage(v float64) {
 // The rectifier's diodes block reverse flow, so the source never drains
 // the capacitor. It returns the new voltage.
 func (s *Supercap) Step(vocV, routOhm, iLoadA, dtS float64) float64 {
-	if dtS <= 0 {
+	if dtS <= 0 || s.Capacitance <= 0 {
 		return s.voltage
 	}
 	iCharge := 0.0
@@ -202,7 +202,7 @@ func (s *Supercap) SteadyState(vocV, routOhm, iLoadA float64) float64 {
 // deliver more charge than energy conservation allows
 // (I ≤ η·P_in / V_cap).
 func (s *Supercap) StepPowerLimited(vocV, routOhm, iLoadA, maxChargeA, dtS float64) float64 {
-	if dtS <= 0 {
+	if dtS <= 0 || s.Capacitance <= 0 {
 		return s.voltage
 	}
 	iCharge := 0.0
