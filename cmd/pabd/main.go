@@ -1,0 +1,140 @@
+// Command pabd serves the PAB scenario scheduler over HTTP: submit
+// versioned scenario specs as jobs, poll their status, stream batch
+// results as NDJSON, and let the content-addressed cache absorb
+// repeated runs.
+//
+// Usage:
+//
+//	pabd -addr :8080                    # serve the API
+//	pabd -addr :8080 -workers 4         # fixed worker pool
+//	pabd -queue 128 -cache 512          # queue depth, cache entries
+//	pabd -job-timeout 90s               # per-job deadline
+//
+// API (see DESIGN.md §12):
+//
+//	GET    /healthz                   liveness + queue stats
+//	POST   /v1/jobs                   submit a scenario spec (or {spec, priority})
+//	GET    /v1/jobs/{id}              poll job status
+//	DELETE /v1/jobs/{id}              cancel
+//	GET    /v1/jobs/{id}/result       result JSON (409 until ready)
+//	POST   /v1/batches                {specs: [...]} or {sweep: {base, axes}}
+//	GET    /v1/batches/{id}           batch summary with per-job headline
+//	GET    /v1/batches/{id}/stream    NDJSON results as jobs finish
+//	GET    /metrics                   Prometheus text exposition
+//	GET    /telemetry.json            full telemetry snapshot
+//
+// Job ids are the canonical scenario hash, so identical specs
+// deduplicate in flight and hit the result cache afterwards. A full
+// queue answers 429 with a Retry-After estimate; SIGTERM stops intake,
+// drains in-flight jobs for -drain-timeout, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"pab/internal/cli"
+	"pab/internal/sim"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued-job capacity before 429 backpressure (0 = default)")
+	cache := flag.Int("cache", 0, "result cache entries (0 = default)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long shutdown waits for in-flight jobs before cancelling them")
+	var tf cli.TelemetryFlags
+	tf.Register()
+	var rf cli.RunFlags
+	rf.Register()
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "pabd: unexpected arguments: %v\n", flag.Args())
+		return cli.Usage()
+	}
+	if code := tf.Start("pabd"); code != cli.ExitOK {
+		return code
+	}
+	ctx, stop := rf.Context()
+	defer stop()
+
+	code := cli.Exit("pabd", serve(ctx, serveConfig{
+		addr: *addr,
+		sched: sim.Config{
+			Workers:      *workers,
+			QueueDepth:   *queue,
+			CacheEntries: *cache,
+			JobTimeout:   *jobTimeout,
+		},
+		drainTimeout: *drainTimeout,
+	}))
+	return tf.Finish("pabd", code)
+}
+
+type serveConfig struct {
+	addr         string
+	sched        sim.Config
+	drainTimeout time.Duration
+}
+
+// serve runs the daemon until ctx is cancelled (SIGINT/SIGTERM or
+// -timeout), then drains: the HTTP listener closes first so no new
+// jobs arrive, queued jobs are cancelled, and in-flight jobs get
+// drainTimeout to finish.
+func serve(ctx context.Context, cfg serveConfig) error {
+	sched, err := sim.New(cfg.sched, sim.ScenarioRunner)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:    cfg.addr,
+		Handler: sim.NewServer(sched).Handler(),
+		BaseContext: func(net.Listener) context.Context {
+			return ctx
+		},
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("pabd: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "pabd: serving on %s (%d workers)\n", ln.Addr(), sched.Workers())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died on its own; still drain the pool.
+		drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		defer cancel()
+		sched.Shutdown(drainCtx)
+		return fmt.Errorf("pabd: %w", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "pabd: shutting down, draining for up to %s\n", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		srv.Close()
+	}
+	<-serveErr
+	if err := sched.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("pabd: drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "pabd: drained cleanly")
+	return nil
+}

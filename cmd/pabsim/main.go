@@ -27,6 +27,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -36,10 +37,10 @@ import (
 	"pab/internal/cli"
 	"pab/internal/core"
 	"pab/internal/experiments"
-	"pab/internal/fault"
 	"pab/internal/frame"
 	"pab/internal/mac"
 	"pab/internal/plot"
+	"pab/internal/scenario"
 	"pab/internal/sensors"
 )
 
@@ -79,7 +80,7 @@ func realMain() int {
 		}
 	case *chaos != "":
 		code = cli.Exit("pabsim", cli.RunWithContext(ctx, func() error {
-			return runChaos(*chaos, *seed, *chaosDur)
+			return runChaos(ctx, *chaos, *seed, *chaosDur)
 		}))
 	case *exp == "all":
 		code = cli.Exit("pabsim", cli.RunWithContext(ctx, func() error {
@@ -112,15 +113,28 @@ func realMain() int {
 }
 
 // runChaos runs the blind-vs-adaptive fault-injection comparison and
-// renders its report.
-func runChaos(profile string, seed int64, durS float64) error {
-	cfg := fault.DefaultScenarioConfig()
-	cfg.DurationS = durS
-	r, err := fault.RunScenario(profile, seed, cfg)
+// renders its report. The run is expressed as a scenario.Spec — the
+// same schema pabd serves — so the CLI and the daemon execute
+// identical, identically-hashed runs. Four nodes matches the historic
+// fault.DefaultScenarioConfig deployment, keeping seeded output
+// bit-identical.
+func runChaos(ctx context.Context, profile string, seed int64, durS float64) error {
+	nodes := make([]scenario.NodeSpec, 4)
+	for i := range nodes {
+		nodes[i] = scenario.NodeSpec{Addr: byte(i + 1)}
+	}
+	spec := scenario.Spec{
+		Kind:  scenario.KindChaos,
+		Seed:  seed,
+		Nodes: nodes,
+		MAC:   scenario.MACSpec{DurationS: durS},
+		Chaos: scenario.ChaosSpec{Profile: profile},
+	}
+	res, err := scenario.Run(ctx, spec)
 	if err != nil {
 		return err
 	}
-	r.WriteText(os.Stdout)
+	res.Chaos.WriteText(os.Stdout)
 	return nil
 }
 

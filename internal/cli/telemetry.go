@@ -5,9 +5,11 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pab/internal/telemetry"
 )
@@ -27,6 +29,8 @@ type TelemetryFlags struct {
 	// DebugAddr, when non-empty, serves /metrics, /telemetry.json and
 	// /debug/pprof for the lifetime of the process (-debug-addr :6060).
 	DebugAddr string
+
+	stopDebug func(context.Context) error
 }
 
 // Register installs -telemetry and -debug-addr on the default flag set.
@@ -43,18 +47,44 @@ func (t *TelemetryFlags) Start(prog string) int {
 	if t.DebugAddr == "" {
 		return ExitOK
 	}
-	if err := telemetry.StartDebugServer(t.DebugAddr); err != nil {
+	stop, err := telemetry.StartDebugServer(t.DebugAddr)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
 		return ExitRuntime
 	}
+	t.stopDebug = stop
 	return ExitOK
 }
 
-// Finish writes the snapshot file when one was requested. It runs even
-// when the command's work failed — a partial snapshot is exactly what
-// post-mortem debugging wants — and escalates the exit code on write
-// failure.
+// StopDebug shuts the -debug-addr listener down, letting in-flight
+// scrapes finish within ctx. Safe to call when no server was started,
+// and idempotent — Finish also calls it, so commands that cancel early
+// (signal, timeout) can release the port as soon as their context
+// dies.
+func (t *TelemetryFlags) StopDebug(ctx context.Context) {
+	if t.stopDebug == nil {
+		return
+	}
+	if err := t.stopDebug(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+	}
+}
+
+// debugStopTimeout bounds how long Finish waits for the last debug
+// scrape before forcing the listener closed.
+const debugStopTimeout = 2 * time.Second
+
+// Finish writes the snapshot file when one was requested and stops the
+// debug server so its goroutine and port are not leaked past the
+// command's work. It runs even when the command's work failed — a
+// partial snapshot is exactly what post-mortem debugging wants — and
+// escalates the exit code on write failure.
 func (t *TelemetryFlags) Finish(prog string, code int) int {
+	if t.stopDebug != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), debugStopTimeout)
+		t.StopDebug(ctx)
+		cancel()
+	}
 	if t.SnapshotPath == "" {
 		return code
 	}

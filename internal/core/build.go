@@ -39,10 +39,10 @@ func NewPaperNode(addr byte, bitrateBps float64, env sensors.Environment) (*node
 	})
 }
 
-// buildNodeAt builds a node with a single recto-piezo circuit tuned to
-// an arbitrary channel frequency — the knob an FDMA deployment turns
-// per node (§3.3.1).
-func buildNodeAt(addr byte, bitrateBps, tunedHz float64, env sensors.Environment) (*node.Node, error) {
+// NewTunedNode builds a node with a single recto-piezo circuit tuned
+// to an arbitrary channel frequency — the knob an FDMA deployment
+// turns per node (§3.3.1).
+func NewTunedNode(addr byte, bitrateBps, tunedHz float64, env sensors.Environment) (*node.Node, error) {
 	tr, err := piezo.New(piezo.PaperCylinder())
 	if err != nil {
 		return nil, err

@@ -152,7 +152,7 @@ func newTunedNode(addr byte, bitrate, tunedHz float64, env sensors.Environment) 
 	if units.ApproxEqual(tunedHz, 15000, 1e-9) {
 		return n, nil
 	}
-	return buildNodeAt(addr, bitrate, tunedHz, env)
+	return NewTunedNode(addr, bitrate, tunedHz, env)
 }
 
 // linkTransportAdapter exposes a Link as a mac.Transport.

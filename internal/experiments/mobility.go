@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
-	"pab/internal/core"
-	"pab/internal/frame"
-	"pab/internal/sensors"
+	"pab/internal/scenario"
+	"pab/internal/sim"
 )
 
 // MobilityRow is one node-speed operating point of the §8 mobility
@@ -43,41 +45,80 @@ func DefaultMobilityConfig() MobilityConfig {
 // 0.5 m/s) and skews the node's apparent bit clock; the receiver's CFO
 // estimator absorbs the former, and decoding survives until the clock
 // skew walks the bit boundaries off by a half-bit within one packet.
+//
+// The sweep is expressed as a scenario batch: one scenario.Spec per
+// grid point (scenario.Sweep over speed_ms), executed through the sim
+// scheduler so repeated figure regenerations hit the content-addressed
+// cache and points run across the worker pool.
 func Mobility(cfg MobilityConfig) ([]MobilityRow, error) {
 	if len(cfg.SpeedsMS) == 0 || cfg.BitrateBps <= 0 {
 		return nil, fmt.Errorf("experiments: bad mobility config %+v", cfg)
 	}
-	var rows []MobilityRow
-	for i, v := range cfg.SpeedsMS {
-		lcfg := core.DefaultLinkConfig()
-		lcfg.NodeRadialSpeedMS = v
-		lcfg.Seed = cfg.Seed + int64(i)
-		n, err := core.NewPaperNode(0x01, cfg.BitrateBps, sensors.RoomTank())
+	sw := scenario.Sweep{
+		Base: scenario.Spec{
+			Name: "mobility",
+			Kind: scenario.KindLink,
+			Nodes: []scenario.NodeSpec{{
+				Addr: 0x01, PosM: [3]float64{1.2, 1.3, 0.65}, BitrateBps: cfg.BitrateBps,
+			}},
+		},
+		Axes: []scenario.Axis{{Param: scenario.ParamSpeedMS, Values: cfg.SpeedsMS}},
+	}
+	specs, err := sw.Expand()
+	if err != nil {
+		return nil, err
+	}
+	// Each grid point keeps its historical per-point seed so the figure
+	// is bit-identical to the pre-batch implementation.
+	for i := range specs {
+		specs[i].Seed = cfg.Seed + int64(i)
+	}
+
+	sched, err := sim.New(sim.Config{QueueDepth: len(specs)}, sim.ScenarioRunner)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		sched.Shutdown(ctx)
+	}()
+	_, views, err := sched.SubmitBatch(specs, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	rows := make([]MobilityRow, len(views))
+	for i, v := range views {
+		final, err := sched.Wait(ctx, v.ID)
 		if err != nil {
 			return nil, err
 		}
-		proj, err := core.NewPaperProjector(lcfg.SampleRate)
-		if err != nil {
+		if final.State != sim.JobDone {
+			return nil, fmt.Errorf("experiments: mobility point %g m/s %s: %s",
+				cfg.SpeedsMS[i], final.State, final.Error)
+		}
+		_, raw, ok := sched.Result(v.ID)
+		if !ok {
+			return nil, fmt.Errorf("experiments: mobility point %g m/s: result missing", cfg.SpeedsMS[i])
+		}
+		var res scenario.Result
+		if err := json.Unmarshal(raw, &res); err != nil {
 			return nil, err
 		}
-		link, err := core.NewLink(lcfg, n, proj)
-		if err != nil {
-			return nil, err
+		if res.Link == nil || len(res.Link.Nodes) != 1 {
+			return nil, fmt.Errorf("experiments: mobility point %g m/s: malformed link report", cfg.SpeedsMS[i])
 		}
-		if err := link.EnsurePowered(60); err != nil {
-			return nil, err
+		n := res.Link.Nodes[0]
+		rows[i] = MobilityRow{
+			SpeedMS:   cfg.SpeedsMS[i],
+			BER:       n.MeanBER,
+			SNRdB:     n.MeanSNRdB,
+			CFOHz:     n.LastCFOHz,
+			Decodable: n.Decodable,
 		}
-		res, err := link.RunQuery(frame.Query{Dest: 0x01, Command: frame.CmdPing})
-		if err != nil {
-			return nil, err
-		}
-		row := MobilityRow{SpeedMS: v, BER: res.UplinkBER}
-		if res.Decoded != nil {
-			row.SNRdB = res.Decoded.SNRdB()
-			row.CFOHz = res.Decoded.CFOHz
-			row.Decodable = res.UplinkBER == 0
-		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

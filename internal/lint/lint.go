@@ -154,6 +154,7 @@ func DefaultConfig() *Config {
 			"pab/internal/dsp",
 			"pab/internal/frame",
 			"pab/internal/mac",
+			"pab/internal/scenario",
 		},
 		PhysicsPkgs: []string{
 			"pab/internal/piezo",

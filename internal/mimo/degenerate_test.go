@@ -1,0 +1,200 @@
+package mimo
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// Degenerate-geometry coverage: when two nodes sit so that their
+// channel vectors are parallel (e.g. symmetric placements in a
+// reverberant tank), the 2×2 decoding matrix loses rank and the
+// receiver must refuse rather than amplify noise unboundedly.
+
+func TestRankOneGeometryIsSingular(t *testing.T) {
+	// Column 2 is a scalar multiple of column 1: node 2's gains are a
+	// scaled copy of node 1's on both frequencies. A power-of-two scale
+	// keeps the determinant's cancellation exact in floating point.
+	k := complex(2, 0)
+	h := Matrix2{A: 1 + 2i, B: (1 + 2i) * k, C: -0.5 + 1i, D: (-0.5 + 1i) * k}
+	if c := h.ConditionNumber(); c < 1e6 {
+		t.Errorf("rank-1 condition number = %g, want huge", c)
+	}
+	if d := cmplx.Abs(h.Det()); d > 1e-15 {
+		t.Fatalf("det = %g, want ~0 for a rank-1 geometry", d)
+	}
+	if _, err := h.Invert(); err == nil {
+		t.Fatal("rank-1 matrix inverted without error")
+	}
+	if _, _, err := ZeroForce([]complex128{1}, []complex128{1}, h); err == nil {
+		t.Fatal("ZeroForce accepted a rank-1 channel")
+	}
+}
+
+func TestZeroMatrixIsSingular(t *testing.T) {
+	var h Matrix2
+	if _, err := h.Invert(); err == nil {
+		t.Fatal("zero matrix inverted without error")
+	}
+	if c := h.ConditionNumber(); c < 1e6 {
+		t.Errorf("zero matrix condition number = %g, want huge", c)
+	}
+}
+
+func TestNearSingularConditioning(t *testing.T) {
+	// Almost-parallel columns: conditioning must blow up smoothly, not
+	// report a healthy channel.
+	eps := 1e-9
+	h := Matrix2{A: 1, B: 1, C: 1, D: 1 + complex(eps, 0)}
+	if c := h.ConditionNumber(); c < 1e6 {
+		t.Errorf("near-singular condition number = %g, want > 1e6", c)
+	}
+	// Still invertible in exact arithmetic — recovery must round-trip.
+	inv, err := h.Invert()
+	if err != nil {
+		t.Fatalf("near-singular invert: %v", err)
+	}
+	// H·H⁻¹ ≈ I.
+	id := Matrix2{
+		A: h.A*inv.A + h.B*inv.C, B: h.A*inv.B + h.B*inv.D,
+		C: h.C*inv.A + h.D*inv.C, D: h.C*inv.B + h.D*inv.D,
+	}
+	if cmplx.Abs(id.A-1) > 1e-4 || cmplx.Abs(id.D-1) > 1e-4 ||
+		cmplx.Abs(id.B) > 1e-4 || cmplx.Abs(id.C) > 1e-4 {
+		t.Errorf("H·H⁻¹ = %+v, want identity", id)
+	}
+}
+
+// Single-element and empty arrays: every estimator must degrade to a
+// defined value instead of panicking or dividing by zero.
+
+func TestEstimateGainDegenerateInputs(t *testing.T) {
+	if g := EstimateGain(nil, nil); g != 0 {
+		t.Errorf("EstimateGain(nil, nil) = %v, want 0", g)
+	}
+	if g := EstimateGain([]complex128{1 + 1i}, []float64{}); g != 0 {
+		t.Errorf("empty ref gain = %v, want 0", g)
+	}
+	// One sample: variance is zero, slope undefined → 0.
+	if g := EstimateGain([]complex128{2 + 3i}, []float64{1}); g != 0 {
+		t.Errorf("single-sample gain = %v, want 0", g)
+	}
+	// Constant reference: den == 0 → 0.
+	if g := EstimateGain([]complex128{1, 2, 3}, []float64{5, 5, 5}); g != 0 {
+		t.Errorf("constant-ref gain = %v, want 0", g)
+	}
+}
+
+func TestSINRDegenerateInputs(t *testing.T) {
+	if s := SINR(nil, nil); s != 0 {
+		t.Errorf("SINR(nil, nil) = %g, want 0", s)
+	}
+	if s := SINR([]complex128{1}, []float64{1}); s != 0 {
+		t.Errorf("single-sample SINR = %g, want 0", s)
+	}
+	if s := SINRBlocked(nil, nil, 4); s != 0 {
+		t.Errorf("SINRBlocked(nil) = %g, want 0", s)
+	}
+	// Exact fit: residual 0 → the clamped ceiling, not +Inf/NaN.
+	ref := []float64{1, -1, 1, -1}
+	y := make([]complex128, len(ref))
+	for i, r := range ref {
+		y[i] = complex(2*r+0.5, 0)
+	}
+	s := SINR(y, ref)
+	if math.IsInf(s, 0) || math.IsNaN(s) || s < 1e11 {
+		t.Errorf("exact-fit SINR = %g, want the finite ceiling", s)
+	}
+}
+
+func TestZeroForceDegenerateLengths(t *testing.T) {
+	h := Matrix2{A: 1, B: 0.2i, C: -0.3, D: 1}
+	x1, x2, err := ZeroForce(nil, nil, h)
+	if err != nil || len(x1) != 0 || len(x2) != 0 {
+		t.Fatalf("empty ZeroForce = %v/%v, %v", x1, x2, err)
+	}
+	// Mismatched lengths truncate to the shorter channel.
+	x1, x2, err = ZeroForce([]complex128{1, 2, 3}, []complex128{1}, h)
+	if err != nil || len(x1) != 1 || len(x2) != 1 {
+		t.Fatalf("mismatched ZeroForce lengths = %d/%d, %v", len(x1), len(x2), err)
+	}
+}
+
+func TestEstimateChannelRejectsBadWindows(t *testing.T) {
+	y := make([]complex128, 8)
+	ref := make([]float64, 4)
+	cases := [][2]int{{-1, 4}, {0, 9}, {4, 4}, {5, 3}}
+	for _, w := range cases {
+		if _, err := EstimateChannel(y, y, ref, ref, w, [2]int{0, 4}); err == nil {
+			t.Errorf("window %v accepted", w)
+		}
+		if _, err := EstimateChannel(y, y, ref, ref, [2]int{0, 4}, w); err == nil {
+			t.Errorf("window %v accepted as second window", w)
+		}
+	}
+}
+
+// Determinism: the full estimate→invert→project pipeline over a seeded
+// random channel is bit-reproducible — the property the chaos CI job
+// relies on for every other layer.
+
+func TestPipelineDeterministicUnderFixedSeed(t *testing.T) {
+	runOnce := func(seed int64) (Matrix2, []complex128, float64) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 256
+		ref1 := make([]float64, n)
+		ref2 := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ref1[i] = float64(1 - 2*(rng.Intn(2)))
+			ref2[i] = float64(1 - 2*(rng.Intn(2)))
+		}
+		h := Matrix2{
+			A: complex(rng.NormFloat64(), rng.NormFloat64()),
+			B: complex(rng.NormFloat64(), rng.NormFloat64()),
+			C: complex(rng.NormFloat64(), rng.NormFloat64()),
+			D: complex(rng.NormFloat64(), rng.NormFloat64()),
+		}
+		mix := func(a, b complex128) []complex128 {
+			y := make([]complex128, 2*n)
+			for i := 0; i < n; i++ {
+				y[i] = a * complex(ref1[i], 0)
+				y[n+i] = b * complex(ref2[i], 0)
+			}
+			for i := range y {
+				y[i] += complex(rng.NormFloat64()*0.01, rng.NormFloat64()*0.01)
+			}
+			return y
+		}
+		y1 := mix(h.A, h.B)
+		y2 := mix(h.C, h.D)
+		est, err := EstimateChannel(y1, y2, ref1, ref2, [2]int{0, n}, [2]int{n, 2 * n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x1, _, err := ZeroForce(y1, y2, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est, x1, SINR(x1[:n], ref1)
+	}
+	h1, x1a, s1 := runOnce(42)
+	h2, x1b, s2 := runOnce(42)
+	if h1 != h2 {
+		t.Errorf("channel estimates differ across identical seeds: %+v vs %+v", h1, h2)
+	}
+	if s1 != s2 {
+		t.Errorf("SINR differs across identical seeds: %g vs %g", s1, s2)
+	}
+	for i := range x1a {
+		if x1a[i] != x1b[i] {
+			t.Fatalf("projected stream diverges at sample %d", i)
+		}
+	}
+	// A different seed must actually change the run (the test would
+	// otherwise pass vacuously on constants).
+	_, _, s3 := runOnce(43)
+	if s1 == s3 {
+		t.Errorf("different seeds produced identical SINR %g", s1)
+	}
+}

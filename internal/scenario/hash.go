@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Canonicalization rules (DESIGN.md §12):
+//
+//  1. the spec is normalized first, so every default is explicit —
+//     `{}` and the fully spelled-out paper deployment hash identically;
+//  2. the Name label is cleared — relabeling must not invalidate a
+//     cached result;
+//  3. fields serialize in Spec declaration order with no whitespace
+//     (encoding/json emits struct fields in declaration order);
+//  4. floats render in Go's shortest round-trippable form (strconv
+//     AppendFloat 'g'), so 150 and 1.5e2 canonicalize identically;
+//  5. empty optional fields are omitted via their omitempty tags.
+//
+// Changing the schema in a way that alters any canonical form requires
+// bumping Version, which itself is hashed.
+
+// CanonicalJSON returns the canonical serialization the content hash
+// is computed over.
+func (s Spec) CanonicalJSON() ([]byte, error) {
+	c := s.Normalize()
+	c.Name = ""
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: canonicalize: %w", err)
+	}
+	return b, nil
+}
+
+// Hash returns the canonical content address of the run this spec
+// determines: hex(SHA-256(CanonicalJSON)). Specs that normalize to the
+// same parameters — regardless of labels, field spelling or float
+// formatting — share a hash, which is what lets pabd deduplicate and
+// cache runs.
+func (s Spec) Hash() (string, error) {
+	b, err := s.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

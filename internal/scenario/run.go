@@ -1,0 +1,307 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"pab/internal/channel"
+	"pab/internal/core"
+	"pab/internal/fault"
+	"pab/internal/node"
+	"pab/internal/sensors"
+)
+
+// Result is the outcome of one scenario run. Exactly one of Chaos and
+// Link is set, matching the spec's kind. Every field is a pure
+// function of the canonical spec, so results are safe to cache under
+// the spec hash.
+type Result struct {
+	SpecHash string        `json:"spec_hash"`
+	Kind     string        `json:"kind"`
+	Chaos    *fault.Report `json:"chaos,omitempty"`
+	Link     *LinkReport   `json:"link,omitempty"`
+}
+
+// LinkReport aggregates a KindLink run: each node powered up and
+// polled MAC.Polls times over its own sample-level link.
+type LinkReport struct {
+	Nodes []LinkNodeReport `json:"nodes"`
+	// Polls/Replies/Failures are network totals; a failure is a poll
+	// with no CRC-clean decode.
+	Polls    int `json:"polls"`
+	Replies  int `json:"replies"`
+	Failures int `json:"failures"`
+	// DeliveredBytes is total CRC-clean payload.
+	DeliveredBytes int `json:"delivered_bytes"`
+	// GoodputBps is delivered payload bits per second of occupied
+	// airtime.
+	GoodputBps float64 `json:"goodput_bps"`
+	AirtimeS   float64 `json:"airtime_s"`
+	// PoweredAll reports whether every node reached its power-on
+	// threshold within the budget.
+	PoweredAll bool `json:"powered_all"`
+}
+
+// LinkNodeReport is one node's share of a KindLink run.
+type LinkNodeReport struct {
+	Addr    byte `json:"addr"`
+	Powered bool `json:"powered"`
+	Polls   int  `json:"polls"`
+	Replies int  `json:"replies"`
+	// MeanBER averages the raw uplink BER over all polls (silent polls
+	// count as BER 1).
+	MeanBER float64 `json:"mean_ber"`
+	// MeanSNRdB averages slicer SNR over decodable polls (0 when none).
+	MeanSNRdB float64 `json:"mean_snr_db"`
+	// LastCFOHz is the receiver's carrier-offset estimate from the
+	// final decodable poll — the Doppler observable of the §8 mobility
+	// study.
+	LastCFOHz float64 `json:"last_cfo_hz"`
+	// Decodable reports whether every poll decoded with zero bit
+	// errors.
+	Decodable bool `json:"decodable"`
+}
+
+// Run normalizes, validates and executes the spec. The context is
+// honored at poll granularity for KindLink; KindChaos runs are a
+// single deterministic fault.RunScenario call and are checked before
+// and after.
+func Run(ctx context.Context, s Spec) (*Result, error) {
+	sp := s.Normalize()
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := sp.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{SpecHash: hash, Kind: sp.Kind}
+	switch sp.Kind {
+	case KindChaos:
+		cfg := fault.DefaultScenarioConfig()
+		cfg.DurationS = sp.MAC.DurationS
+		cfg.Nodes = len(sp.Nodes)
+		cfg.MaxAttempts = sp.MAC.MaxAttempts
+		rep, err := fault.RunScenario(sp.Chaos.Profile, sp.Seed, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Chaos = rep
+	case KindLink:
+		rep, err := runLink(ctx, sp)
+		if err != nil {
+			return nil, err
+		}
+		res.Link = rep
+	default:
+		return nil, fmt.Errorf("scenario: unknown kind %q", sp.Kind)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// buildNode materializes one NodeSpec.
+func buildNode(n NodeSpec) (*node.Node, error) {
+	env := sensors.RoomTank()
+	switch {
+	case n.TunedHz != 0 && n.BatteryJ != 0:
+		return nil, fmt.Errorf("scenario: node %#02x: tuned_hz and battery_j cannot combine", n.Addr)
+	case n.TunedHz != 0:
+		return core.NewTunedNode(n.Addr, n.BitrateBps, n.TunedHz, env)
+	case n.BatteryJ != 0:
+		return core.NewBatteryAssistedNode(n.Addr, n.BitrateBps, n.BatteryJ, env)
+	default:
+		return core.NewPaperNode(n.Addr, n.BitrateBps, env)
+	}
+}
+
+// runLink executes a KindLink spec: one Link per node, polled in spec
+// order over a shared fault timeline.
+func runLink(ctx context.Context, sp Spec) (*LinkReport, error) {
+	tank, err := sp.Tank.Build()
+	if err != nil {
+		return nil, err
+	}
+	base := core.DefaultLinkConfig()
+	base.Tank = tank
+	base.SampleRate = sp.PHY.SampleRateHz
+	base.CarrierHz = sp.PHY.CarrierHz
+	base.DriveV = sp.PHY.DriveV
+	base.PWMUnit = sp.PHY.PWMUnitSamples
+	base.NoiseRMS = sp.PHY.NoiseRMSPa
+	base.ChannelOrder = sp.PHY.ChannelOrder
+	base.MaxReplyPayload = sp.PHY.MaxReplyPayload
+	base.ProjectorPos, base.HydrophonePos = readerPositions(tank)
+
+	var eng *fault.Engine
+	if sp.Chaos.Profile != "" {
+		p, err := fault.ByName(sp.Chaos.Profile)
+		if err != nil {
+			return nil, err
+		}
+		addrs := make([]byte, len(sp.Nodes))
+		for i, n := range sp.Nodes {
+			addrs[i] = n.Addr
+		}
+		eng, err = fault.NewEngine(p, sp.Seed, sp.MAC.DurationS, addrs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &LinkReport{PoweredAll: true}
+	for i, ns := range sp.Nodes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n, err := buildNode(ns)
+		if err != nil {
+			return nil, err
+		}
+		proj, err := core.NewPaperProjector(base.SampleRate)
+		if err != nil {
+			return nil, err
+		}
+		lcfg := base
+		lcfg.NodePos = channel.Vec3{X: ns.PosM[0], Y: ns.PosM[1], Z: ns.PosM[2]}
+		lcfg.NodeRadialSpeedMS = ns.RadialSpeedMS
+		lcfg.Seed = sp.Seed + int64(i)
+		link, err := core.NewLink(lcfg, n, proj)
+		if err != nil {
+			return nil, err
+		}
+		if eng != nil {
+			link.SetFaultEngine(eng)
+		}
+		nr := LinkNodeReport{Addr: ns.Addr, Decodable: true}
+		if err := link.EnsurePowered(sp.MAC.PowerUpS); err != nil {
+			nr.Powered, nr.Decodable = false, false
+			rep.PoweredAll = false
+			rep.Nodes = append(rep.Nodes, nr)
+			continue
+		}
+		nr.Powered = true
+		q, err := sp.MAC.Query(ns.Addr)
+		if err != nil {
+			return nil, err
+		}
+		var berSum, snrSum float64
+		var decoded int
+		for p := 0; p < sp.MAC.Polls; p++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			nr.Polls++
+			rep.Polls++
+			res, err := link.RunQuery(q)
+			if err != nil {
+				var off *core.NodeOffError
+				if errors.As(err, &off) {
+					// Chaos browned the node out mid-run: a failed
+					// poll, not a failed scenario.
+					berSum++
+					nr.Decodable = false
+					rep.Failures++
+					continue
+				}
+				return nil, err
+			}
+			rep.AirtimeS += float64(len(res.Recording)) / lcfg.SampleRate
+			berSum += res.UplinkBER
+			ok := res.Decoded != nil && res.UplinkBER == 0 && res.Decoded.Bits != nil
+			if res.Decoded != nil {
+				snrSum += res.Decoded.SNRdB()
+				nr.LastCFOHz = res.Decoded.CFOHz
+				decoded++
+			}
+			if ok {
+				nr.Replies++
+				rep.Replies++
+				rep.DeliveredBytes += len(res.Decoded.Frame.Payload)
+			} else {
+				nr.Decodable = false
+				rep.Failures++
+			}
+		}
+		if nr.Polls > 0 {
+			nr.MeanBER = berSum / float64(nr.Polls)
+		}
+		if decoded > 0 {
+			nr.MeanSNRdB = snrSum / float64(decoded)
+		}
+		rep.Nodes = append(rep.Nodes, nr)
+	}
+	if rep.AirtimeS > 0 {
+		rep.GoodputBps = float64(rep.DeliveredBytes*8) / rep.AirtimeS
+	}
+	return rep, nil
+}
+
+// readerPositions places projector and hydrophone: the paper's Fig 6
+// spots when they fit the tank, otherwise the same fractional corner
+// of the volume. Positions are a pure function of geometry so equal
+// specs keep equal physics.
+func readerPositions(t channel.Tank) (proj, hydro channel.Vec3) {
+	proj = channel.Vec3{X: 0.5, Y: 0.5, Z: 0.65}
+	hydro = channel.Vec3{X: 0.7, Y: 0.6, Z: 0.65}
+	if proj.X < t.LX && proj.Y < t.LY && proj.Z < t.LZ &&
+		hydro.X < t.LX && hydro.Y < t.LY && hydro.Z < t.LZ {
+		return proj, hydro
+	}
+	proj = channel.Vec3{X: 0.17 * t.LX, Y: 0.13 * t.LY, Z: 0.5 * t.LZ}
+	hydro = channel.Vec3{X: 0.23 * t.LX, Y: 0.15 * t.LY, Z: 0.5 * t.LZ}
+	return proj, hydro
+}
+
+// Headline extracts the one-line numeric summary the batch API
+// reports per job.
+func (r *Result) Headline() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	switch {
+	case r.Chaos != nil:
+		return map[string]float64{
+			"blind_goodput_bps":    r.Chaos.Blind.GoodputBps,
+			"adaptive_goodput_bps": r.Chaos.Adaptive.GoodputBps,
+			"advantage_x":          r.Chaos.AdvantageX,
+		}
+	case r.Link != nil:
+		replyRate := 0.0
+		if r.Link.Polls > 0 {
+			replyRate = float64(r.Link.Replies) / float64(r.Link.Polls)
+		}
+		worst := math.Inf(1)
+		for _, n := range r.Link.Nodes {
+			if n.Powered && n.MeanSNRdB < worst {
+				worst = n.MeanSNRdB
+			}
+		}
+		if math.IsInf(worst, 1) {
+			worst = 0
+		}
+		return map[string]float64{
+			"goodput_bps":  r.Link.GoodputBps,
+			"reply_rate":   replyRate,
+			"worst_snr_db": worst,
+			"airtime_s":    r.Link.AirtimeS,
+			"delivered_b":  float64(r.Link.DeliveredBytes),
+			"powered_all":  boolTo01(r.Link.PoweredAll),
+		}
+	}
+	return nil
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

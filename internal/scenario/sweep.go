@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// MaxSweepSpecs bounds how many runs one sweep may expand into — the
+// cartesian product of axis lengths.
+const MaxSweepSpecs = 4096
+
+// Sweep is a declarative parameter grid over a base spec: the batch
+// workloads (power × range × rate) that pay off once runs are
+// deduplicated and parallelized. Expand produces the cartesian
+// product, one Spec per grid point.
+type Sweep struct {
+	Base Spec   `json:"base"`
+	Axes []Axis `json:"axes"`
+}
+
+// Axis is one swept parameter.
+type Axis struct {
+	// Param names the knob; see setParam for the vocabulary.
+	Param  string    `json:"param"`
+	Values []float64 `json:"values"`
+}
+
+// Sweepable parameters.
+const (
+	ParamDriveV      = "drive_v"      // PHY.DriveV, volts
+	ParamCarrierHz   = "carrier_hz"   // PHY.CarrierHz
+	ParamNoiseRMSPa  = "noise_rms_pa" // PHY.NoiseRMSPa
+	ParamBitrateBps  = "bitrate_bps"  // every node's uplink bitrate
+	ParamRangeM      = "range_m"      // node distance from projector, metres
+	ParamSpeedMS     = "speed_ms"     // every node's radial drift speed
+	ParamSeed        = "seed"         // Spec.Seed (truncated to int64)
+	ParamDurationS   = "duration_s"   // MAC.DurationS
+	ParamPolls       = "polls"        // MAC.Polls (truncated to int)
+	ParamMaxAttempts = "max_attempts" // MAC.MaxAttempts (truncated to int)
+)
+
+// Expand returns one normalized spec per grid point, axes varying
+// rightmost-fastest, each named "<base>[p1=v1 p2=v2 ...]". Expansion
+// is deterministic: equal sweeps produce equal spec sequences (and so
+// equal hashes).
+func (sw Sweep) Expand() ([]Spec, error) {
+	total := 1
+	for _, ax := range sw.Axes {
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("scenario: sweep axis %q has no values", ax.Param)
+		}
+		if total > MaxSweepSpecs/len(ax.Values) {
+			return nil, fmt.Errorf("scenario: sweep expands past the %d-run cap", MaxSweepSpecs)
+		}
+		total *= len(ax.Values)
+	}
+	base := sw.Base.Normalize()
+	specs := make([]Spec, 0, total)
+	idx := make([]int, len(sw.Axes))
+	for {
+		sp := base
+		var label strings.Builder
+		label.WriteString(base.Name)
+		if len(sw.Axes) > 0 {
+			label.WriteString("[")
+		}
+		for i, ax := range sw.Axes {
+			v := ax.Values[idx[i]]
+			var err error
+			sp, err = setParam(sp, ax.Param, v)
+			if err != nil {
+				return nil, err
+			}
+			if i > 0 {
+				label.WriteString(" ")
+			}
+			label.WriteString(ax.Param)
+			label.WriteString("=")
+			label.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if len(sw.Axes) > 0 {
+			label.WriteString("]")
+		}
+		sp.Name = label.String()
+		if err := sp.Validate(); err != nil {
+			return nil, fmt.Errorf("%w (at %s)", err, sp.Name)
+		}
+		specs = append(specs, sp)
+		// Odometer increment, rightmost axis fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(sw.Axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return specs, nil
+}
+
+// setParam applies one axis value to a normalized spec. Node-level
+// parameters apply to every node: a sweep varies the deployment, not
+// one element of it.
+func setParam(sp Spec, param string, v float64) (Spec, error) {
+	// The normalized spec shares its Nodes slice with the base;
+	// copy-on-write before mutating.
+	cloneNodes := func() []NodeSpec {
+		out := make([]NodeSpec, len(sp.Nodes))
+		copy(out, sp.Nodes)
+		return out
+	}
+	switch param {
+	case ParamDriveV:
+		sp.PHY.DriveV = v
+	case ParamCarrierHz:
+		sp.PHY.CarrierHz = v
+	case ParamNoiseRMSPa:
+		sp.PHY.NoiseRMSPa = v
+	case ParamBitrateBps:
+		nodes := cloneNodes()
+		for i := range nodes {
+			nodes[i].BitrateBps = v
+		}
+		sp.Nodes = nodes
+	case ParamSpeedMS:
+		nodes := cloneNodes()
+		for i := range nodes {
+			nodes[i].RadialSpeedMS = v
+		}
+		sp.Nodes = nodes
+	case ParamRangeM:
+		// Slide each node to distance v from the projector along the
+		// projector→node direction (fallback: the tank diagonal).
+		tank, err := sp.Tank.Build()
+		if err != nil {
+			return sp, err
+		}
+		proj, _ := readerPositions(tank)
+		nodes := cloneNodes()
+		for i := range nodes {
+			p := nodes[i].PosM
+			dx, dy, dz := p[0]-proj.X, p[1]-proj.Y, p[2]-proj.Z
+			norm := dx*dx + dy*dy + dz*dz
+			if norm == 0 {
+				dx, dy, dz = tank.LX-proj.X, tank.LY-proj.Y, 0
+				norm = dx*dx + dy*dy + dz*dz
+			}
+			scale := v / math.Sqrt(norm)
+			nodes[i].PosM = [3]float64{proj.X + dx*scale, proj.Y + dy*scale, proj.Z + dz*scale}
+		}
+		sp.Nodes = nodes
+	case ParamSeed:
+		sp.Seed = int64(v)
+	case ParamDurationS:
+		sp.MAC.DurationS = v
+	case ParamPolls:
+		sp.MAC.Polls = int(v)
+	case ParamMaxAttempts:
+		sp.MAC.MaxAttempts = int(v)
+	default:
+		return sp, fmt.Errorf("scenario: unknown sweep param %q", param)
+	}
+	return sp, nil
+}

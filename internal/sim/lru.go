@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"container/list"
+	"encoding/json"
+)
+
+// cacheEntry is one finished job: its final view plus the result JSON.
+type cacheEntry struct {
+	view   JobView
+	result json.RawMessage
+}
+
+// lru is a fixed-capacity least-recently-used map. It is not
+// self-locking: the Scheduler's mutex guards it.
+type lru struct {
+	cap   int
+	order *list.List // front = most recent; values are *lruItem
+	items map[string]*list.Element
+}
+
+type lruItem struct {
+	key string
+	e   cacheEntry
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the entry and refreshes its recency.
+func (l *lru) get(key string) (cacheEntry, bool) {
+	el, ok := l.items[key]
+	if !ok {
+		return cacheEntry{}, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruItem).e, true
+}
+
+// add inserts (or refreshes) an entry, reporting whether an old entry
+// was evicted to make room.
+func (l *lru) add(key string, e cacheEntry) (evicted bool) {
+	if el, ok := l.items[key]; ok {
+		el.Value.(*lruItem).e = e
+		l.order.MoveToFront(el)
+		return false
+	}
+	l.items[key] = l.order.PushFront(&lruItem{key: key, e: e})
+	if l.order.Len() <= l.cap {
+		return false
+	}
+	oldest := l.order.Back()
+	l.order.Remove(oldest)
+	delete(l.items, oldest.Value.(*lruItem).key)
+	return true
+}
+
+func (l *lru) len() int { return l.order.Len() }
+
+// history is a bounded FIFO of terminal-but-uncached job views
+// (failures and cancellations), so status queries keep answering for
+// a while after the job is gone.
+type history struct {
+	cap   int
+	fifo  []string
+	views map[string]JobView
+}
+
+func newHistory(capacity int) *history {
+	return &history{cap: capacity, views: make(map[string]JobView)}
+}
+
+func (h *history) put(v JobView) {
+	if _, ok := h.views[v.ID]; !ok {
+		h.fifo = append(h.fifo, v.ID)
+		if len(h.fifo) > h.cap {
+			delete(h.views, h.fifo[0])
+			h.fifo = h.fifo[1:]
+		}
+	}
+	h.views[v.ID] = v
+}
+
+func (h *history) get(id string) (JobView, bool) {
+	v, ok := h.views[id]
+	return v, ok
+}
+
+// drop forgets an entry (the spec was resubmitted and is live again).
+func (h *history) drop(id string) {
+	delete(h.views, id)
+}
+
+// batchStore is a bounded FIFO of submitted batches.
+type batchStore struct {
+	cap     int
+	fifo    []string
+	batches map[string]Batch
+}
+
+func newBatchStore(capacity int) *batchStore {
+	return &batchStore{cap: capacity, batches: make(map[string]Batch)}
+}
+
+func (b *batchStore) put(batch Batch) {
+	if _, ok := b.batches[batch.ID]; !ok {
+		b.fifo = append(b.fifo, batch.ID)
+		if len(b.fifo) > b.cap {
+			delete(b.batches, b.fifo[0])
+			b.fifo = b.fifo[1:]
+		}
+	}
+	b.batches[batch.ID] = batch
+}
+
+func (b *batchStore) get(id string) (Batch, bool) {
+	batch, ok := b.batches[id]
+	return batch, ok
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"pab/internal/scenario"
+	"pab/internal/telemetry"
+)
+
+// Server is the HTTP face of a Scheduler — the pabd API:
+//
+//	GET    /healthz                  liveness + queue stats
+//	POST   /v1/jobs                  submit one scenario (spec or {spec, priority})
+//	GET    /v1/jobs/{id}             poll job status
+//	DELETE /v1/jobs/{id}             cancel a queued/running job
+//	GET    /v1/jobs/{id}/result      fetch the result JSON
+//	POST   /v1/batches               submit {specs: [...]} or {sweep: {base, axes}}
+//	GET    /v1/batches/{id}          batch summary (states + per-job headline)
+//	GET    /v1/batches/{id}/stream   NDJSON: one result line per job as it finishes
+//	GET    /metrics, /telemetry.json, /debug/*  the telemetry registry
+//
+// A full queue answers 429 with a Retry-After estimated from the
+// pool's average job duration.
+type Server struct {
+	sched *Scheduler
+}
+
+// NewServer wraps a scheduler.
+func NewServer(s *Scheduler) *Server { return &Server{sched: s} }
+
+// maxBodyBytes bounds request bodies; a 4096-spec sweep fits well
+// within it.
+const maxBodyBytes = 4 << 20
+
+// Handler returns the route table.
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", sv.handleHealth)
+	mux.HandleFunc("POST /v1/jobs", sv.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", sv.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", sv.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", sv.handleResult)
+	mux.HandleFunc("POST /v1/batches", sv.handleBatchSubmit)
+	mux.HandleFunc("GET /v1/batches/{id}", sv.handleBatch)
+	mux.HandleFunc("GET /v1/batches/{id}/stream", sv.handleBatchStream)
+	th := sv.sched.reg.Handler()
+	mux.Handle("/metrics", th)
+	mux.Handle("/telemetry.json", th)
+	mux.Handle("/debug/", th)
+	return mux
+}
+
+// submitRequest is the POST /v1/jobs envelope; a bare Spec body is
+// also accepted.
+type submitRequest struct {
+	Spec     *scenario.Spec `json:"spec"`
+	Priority int            `json:"priority"`
+}
+
+// batchRequest is the POST /v1/batches envelope.
+type batchRequest struct {
+	Specs    []scenario.Spec `json:"specs"`
+	Sweep    *scenario.Sweep `json:"sweep"`
+	Priority int             `json:"priority"`
+}
+
+// batchResponse answers a batch submission.
+type batchResponse struct {
+	Batch Batch     `json:"batch"`
+	Jobs  []JobView `json:"jobs"`
+}
+
+// BatchSummary aggregates a batch for GET /v1/batches/{id}.
+type BatchSummary struct {
+	ID     string         `json:"id"`
+	Total  int            `json:"total"`
+	States map[string]int `json:"states"`
+	Jobs   []BatchJobRow  `json:"jobs"`
+}
+
+// BatchJobRow is one member's digest: state plus the scenario
+// headline numbers once the result exists.
+type BatchJobRow struct {
+	ID       string             `json:"id"`
+	Name     string             `json:"name,omitempty"`
+	State    JobState           `json:"state"`
+	Error    string             `json:"error,omitempty"`
+	Headline map[string]float64 `json:"headline,omitempty"`
+}
+
+// streamRow is one NDJSON line of a batch stream.
+type streamRow struct {
+	ID     string          `json:"id"`
+	Name   string          `json:"name,omitempty"`
+	State  JobState        `json:"state"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (sv *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stats": sv.sched.Stats()})
+}
+
+func (sv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	var req submitRequest
+	if err := json.Unmarshal(body, &req); err != nil || req.Spec == nil {
+		// Not an envelope: treat the whole body as a bare Spec.
+		req = submitRequest{Spec: &scenario.Spec{}}
+		if err := json.Unmarshal(body, req.Spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad spec: %v", err)})
+			return
+		}
+	}
+	view, err := sv.sched.Submit(*req.Spec, req.Priority)
+	if err != nil {
+		sv.writeSubmitError(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if view.State.Terminal() {
+		code = http.StatusOK // served from cache
+	}
+	writeJSON(w, code, view)
+}
+
+func (sv *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, err := sv.sched.Job(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (sv *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !sv.sched.Cancel(id) {
+		writeJSON(w, http.StatusNotFound, apiError{"no live job with that id"})
+		return
+	}
+	view, err := sv.sched.Job(id)
+	if err != nil {
+		writeJSON(w, http.StatusAccepted, apiError{"cancel requested"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (sv *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	_, result, ok := sv.sched.Result(id)
+	if !ok {
+		if view, err := sv.sched.Job(id); err == nil {
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error": "result not ready", "job": view,
+			})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, apiError{ErrUnknownJob.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(result)
+}
+
+func (sv *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad batch: %v", err)})
+		return
+	}
+	specs := req.Specs
+	if req.Sweep != nil {
+		expanded, err := req.Sweep.Expand()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+			return
+		}
+		specs = append(specs, expanded...)
+	}
+	batch, views, err := sv.sched.SubmitBatch(specs, req.Priority)
+	if err != nil {
+		sv.writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, batchResponse{Batch: batch, Jobs: views})
+}
+
+func (sv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	batch, ok := sv.sched.BatchOf(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown batch"})
+		return
+	}
+	sum := BatchSummary{ID: batch.ID, Total: len(batch.JobIDs), States: make(map[string]int)}
+	for _, id := range batch.JobIDs {
+		row := BatchJobRow{ID: id}
+		view, err := sv.sched.Job(id)
+		if err != nil {
+			row.State, row.Error = JobState("unknown"), err.Error()
+		} else {
+			row.Name, row.State, row.Error = view.Name, view.State, view.Error
+			if _, result, ok := sv.sched.Result(id); ok {
+				row.Headline = headline(result)
+			}
+		}
+		sum.States[string(row.State)]++
+		sum.Jobs = append(sum.Jobs, row)
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+func (sv *Server) handleBatchStream(w http.ResponseWriter, r *http.Request) {
+	batch, ok := sv.sched.BatchOf(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown batch"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for _, id := range batch.JobIDs {
+		view, err := sv.sched.Wait(r.Context(), id)
+		if err != nil {
+			// Client went away (or the job aged out): stop streaming.
+			return
+		}
+		row := streamRow{ID: id, Name: view.Name, State: view.State, Error: view.Error}
+		if _, result, ok := sv.sched.Result(id); ok {
+			row.Result = result
+		}
+		if err := enc.Encode(row); err != nil {
+			return
+		}
+		sv.sched.reg.Inc(telemetry.MSimStreamRowsTotal)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSubmitError maps scheduler flow-control errors onto HTTP: 429
+// with Retry-After for a full queue, 503 during drain, 400 otherwise.
+func (sv *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		secs := int(sv.sched.RetryAfter().Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+	}
+}
+
+// headline parses a stored scenario result and extracts its summary
+// numbers (nil when the result is not a scenario.Result).
+func headline(result json.RawMessage) map[string]float64 {
+	var res scenario.Result
+	if err := json.Unmarshal(result, &res); err != nil {
+		return nil
+	}
+	return res.Headline()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pab/internal/scenario"
+	"pab/internal/telemetry"
+)
+
+func newTestServer(t *testing.T, cfg Config, run Runner) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	sched, _ := newTestScheduler(t, cfg, run)
+	ts := httptest.NewServer(NewServer(sched).Handler())
+	t.Cleanup(ts.Close)
+	return ts, sched
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestServerSubmitPollResult walks the happy path: submit a bare spec,
+// poll to completion, fetch the result, then watch the identical
+// resubmission come back cached.
+func TestServerSubmitPollResult(t *testing.T) {
+	ts, sched := newTestServer(t, Config{Workers: 2}, instantRunner)
+
+	spec := `{"kind":"chaos","seed":9,"mac":{"duration_s":5}}`
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.ID == "" || view.Cached {
+		t.Fatalf("first view = %+v", view)
+	}
+	waitTerminal(t, sched, view.ID)
+
+	resp, body = getJSON(t, ts.URL+"/v1/jobs/"+view.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll status = %d", resp.StatusCode)
+	}
+	var polled JobView
+	json.Unmarshal(body, &polled)
+	if polled.State != JobDone {
+		t.Fatalf("polled state = %s", polled.State)
+	}
+
+	resp, body = getJSON(t, ts.URL+"/v1/jobs/"+view.ID+"/result")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"ok":true`)) {
+		t.Fatalf("result = %d %s", resp.StatusCode, body)
+	}
+
+	// The {spec, priority} envelope addresses the same job and is now a
+	// cache hit: 200, not 202.
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", `{"spec":`+spec+`,"priority":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var cached JobView
+	json.Unmarshal(body, &cached)
+	if !cached.Cached || cached.ID != view.ID {
+		t.Fatalf("cached view = %+v", cached)
+	}
+}
+
+func TestServerRejectsBadInput(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1}, instantRunner)
+	resp, _ := postJSON(t, ts.URL+"/v1/jobs", `{"kind":"quantum"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad kind status = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", `not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage status = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = getJSON(t, ts.URL+"/v1/jobs/deadbeef")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = getJSON(t, ts.URL+"/v1/batches/deadbeef")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown batch status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerBackpressure: a full queue answers 429 with a parseable
+// Retry-After header.
+func TestServerBackpressure(t *testing.T) {
+	g := newGate()
+	ts, sched := newTestServer(t, Config{Workers: 1, QueueDepth: 1}, g.run)
+
+	postJSON(t, ts.URL+"/v1/jobs", `{"kind":"chaos","seed":1,"mac":{"duration_s":5}}`)
+	waitBusy(t, sched, 1)
+	postJSON(t, ts.URL+"/v1/jobs", `{"kind":"chaos","seed":2,"mac":{"duration_s":5}}`)
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", `{"kind":"chaos","seed":3,"mac":{"duration_s":5}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, body %s; want 429", resp.StatusCode, body)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", ra)
+	}
+	close(g.release)
+}
+
+// TestServerResultNotReady: asking for a running job's result is a
+// 409, not an empty 200.
+func TestServerResultNotReady(t *testing.T) {
+	g := newGate()
+	ts, sched := newTestServer(t, Config{Workers: 1}, g.run)
+	_, body := postJSON(t, ts.URL+"/v1/jobs", `{"kind":"chaos","seed":1,"mac":{"duration_s":5}}`)
+	var view JobView
+	json.Unmarshal(body, &view)
+	waitBusy(t, sched, 1)
+	resp, _ := getJSON(t, ts.URL+"/v1/jobs/"+view.ID+"/result")
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("not-ready result status = %d, want 409", resp.StatusCode)
+	}
+	close(g.release)
+}
+
+// TestServerCancel: DELETE cancels a running job.
+func TestServerCancel(t *testing.T) {
+	g := newGate()
+	ts, sched := newTestServer(t, Config{Workers: 1}, g.run)
+	_, body := postJSON(t, ts.URL+"/v1/jobs", `{"kind":"chaos","seed":1,"mac":{"duration_s":5}}`)
+	var view JobView
+	json.Unmarshal(body, &view)
+	waitBusy(t, sched, 1)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+view.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d", resp.StatusCode)
+	}
+	if v := waitTerminal(t, sched, view.ID); v.State != JobCanceled {
+		t.Errorf("state after cancel = %s", v.State)
+	}
+}
+
+// TestServerBatchSweepAndStream: a sweep expands server-side, the
+// summary carries per-job headlines, and the stream yields one NDJSON
+// row per member with the stream counter advancing.
+func TestServerBatchSweepAndStream(t *testing.T) {
+	run := func(_ context.Context, sp scenario.Spec) (json.RawMessage, error) {
+		return json.RawMessage(fmt.Sprintf(
+			`{"spec_hash":"x","kind":"chaos","chaos":{"blind":{"goodput_bps":1},"adaptive":{"goodput_bps":%d},"advantage_x":%d}}`,
+			sp.Seed*2, sp.Seed*2)), nil
+	}
+	ts, sched := newTestServer(t, Config{Workers: 2}, run)
+
+	sweep := `{"sweep":{"base":{"kind":"chaos","mac":{"duration_s":5}},"axes":[{"param":"seed","values":[1,2,3]}]}}`
+	resp, body := postJSON(t, ts.URL+"/v1/batches", sweep)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch status = %d, body %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Jobs) != 3 {
+		t.Fatalf("sweep produced %d jobs, want 3", len(br.Jobs))
+	}
+	for _, v := range br.Jobs {
+		waitTerminal(t, sched, v.ID)
+	}
+
+	resp, body = getJSON(t, ts.URL+"/v1/batches/"+br.Batch.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary status = %d", resp.StatusCode)
+	}
+	var sum BatchSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total != 3 || sum.States[string(JobDone)] != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	for _, row := range sum.Jobs {
+		if row.Headline["adaptive_goodput_bps"] <= 0 {
+			t.Errorf("job %s headline = %v, want adaptive goodput", row.ID, row.Headline)
+		}
+		if !strings.Contains(row.Name, "seed=") {
+			t.Errorf("job name %q lost its sweep label", row.Name)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/batches/" + br.Batch.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type = %q", ct)
+	}
+	var rows int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var row streamRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if row.State != JobDone || len(row.Result) == 0 {
+			t.Errorf("stream row = %+v", row)
+		}
+		rows++
+	}
+	if rows != 3 {
+		t.Errorf("stream rows = %d, want 3", rows)
+	}
+	if n := sched.reg.Counter(telemetry.MSimStreamRowsTotal).Value(); n != 3 {
+		t.Errorf("stream counter = %d, want 3", n)
+	}
+}
+
+// TestServerExplicitSpecsBatch: the {specs: [...]} form works too.
+func TestServerExplicitSpecsBatch(t *testing.T) {
+	ts, sched := newTestServer(t, Config{Workers: 2}, instantRunner)
+	body := `{"specs":[{"kind":"chaos","seed":1,"mac":{"duration_s":5}},{"kind":"chaos","seed":2,"mac":{"duration_s":5}}]}`
+	resp, out := postJSON(t, ts.URL+"/v1/batches", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, out)
+	}
+	var br batchResponse
+	json.Unmarshal(out, &br)
+	if len(br.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(br.Jobs))
+	}
+	for _, v := range br.Jobs {
+		waitTerminal(t, sched, v.ID)
+	}
+}
+
+// TestServerHealthAndMetrics: the observability routes answer.
+func TestServerHealthAndMetrics(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1}, instantRunner)
+	resp, body := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"status": "ok"`)) {
+		t.Errorf("healthz = %d %s", resp.StatusCode, body)
+	}
+	resp, _ = getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("metrics status = %d", resp.StatusCode)
+	}
+	resp, _ = getJSON(t, ts.URL+"/telemetry.json")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("telemetry.json status = %d", resp.StatusCode)
+	}
+}
+
+// TestServerStreamClientGone: a stream whose client disconnects stops
+// without wedging the scheduler.
+func TestServerStreamClientGone(t *testing.T) {
+	g := newGate()
+	ts, sched := newTestServer(t, Config{Workers: 1}, g.run)
+	_, out := postJSON(t, ts.URL+"/v1/batches",
+		`{"specs":[{"kind":"chaos","seed":1,"mac":{"duration_s":5}}]}`)
+	var br batchResponse
+	json.Unmarshal(out, &br)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/v1/batches/"+br.Batch.ID+"/stream", nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		// The handler is blocked in Wait; the context firing must end
+		// the request promptly.
+		var buf [1]byte
+		resp.Body.Read(buf[:])
+		resp.Body.Close()
+	}
+	close(g.release)
+	waitTerminal(t, sched, br.Jobs[0].ID)
+}

@@ -1,0 +1,670 @@
+// Package sim turns the one-shot simulator into a servable system: a
+// job scheduler that accepts scenario specs (pab/internal/scenario),
+// deduplicates them by content hash, queues them through a bounded
+// priority queue into a worker pool, caches results in a
+// content-addressed LRU, and reports every stage through the telemetry
+// registry. cmd/pabd wraps it in an HTTP API (server.go).
+//
+// Flow control is explicit: a full queue rejects with ErrQueueFull
+// (the HTTP layer maps it to 429 + Retry-After) rather than queueing
+// unboundedly, and Shutdown stops intake, cancels queued jobs and
+// drains in-flight ones — the SIGTERM path.
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pab/internal/scenario"
+	"pab/internal/telemetry"
+)
+
+// Runner executes one scenario and returns its result as JSON. The
+// context carries the per-job timeout and cancellation.
+type Runner func(ctx context.Context, spec scenario.Spec) (json.RawMessage, error)
+
+// ScenarioRunner is the production Runner: scenario.Run serialized.
+func ScenarioRunner(ctx context.Context, spec scenario.Spec) (json.RawMessage, error) {
+	res, err := scenario.Run(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+// JobState is the lifecycle of a job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobView is a point-in-time snapshot of a job, safe to serialize.
+type JobView struct {
+	// ID is the scenario's canonical content hash.
+	ID       string   `json:"id"`
+	Name     string   `json:"name,omitempty"`
+	Kind     string   `json:"kind"`
+	State    JobState `json:"state"`
+	Cached   bool     `json:"cached"`
+	Priority int      `json:"priority"`
+	Error    string   `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// QueueWaitS and RunS are filled once the respective phase ends.
+	QueueWaitS float64 `json:"queue_wait_s,omitempty"`
+	RunS       float64 `json:"run_s,omitempty"`
+}
+
+// job is the scheduler's mutable record.
+type job struct {
+	view   JobView
+	spec   scenario.Spec
+	seq    uint64
+	pos    int // heap index, -1 once popped/removed
+	cancel context.CancelFunc
+	done   chan struct{}
+	result json.RawMessage
+}
+
+// Errors the scheduler returns for flow control.
+var (
+	// ErrQueueFull is backpressure: the bounded queue cannot take the
+	// job; retry after the window the server advertises.
+	ErrQueueFull = errors.New("sim: queue full")
+	// ErrShuttingDown rejects submissions after Shutdown began.
+	ErrShuttingDown = errors.New("sim: scheduler shutting down")
+	// ErrUnknownJob reports a lookup of an ID never submitted (or aged
+	// out of the failure history).
+	ErrUnknownJob = errors.New("sim: unknown job")
+)
+
+// Config tunes a Scheduler.
+type Config struct {
+	// Workers is the pool size; 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds queued (not yet running) jobs; 0 selects 64.
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache; 0
+	// selects 256.
+	CacheEntries int
+	// JobTimeout bounds one job's run; 0 selects 120 s.
+	JobTimeout time.Duration
+	// Registry receives queue/cache/latency telemetry; nil selects
+	// telemetry.Default().
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 120 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default()
+	}
+	return c
+}
+
+// Scheduler owns the queue, the worker pool and the result cache. All
+// methods are safe for concurrent use.
+type Scheduler struct {
+	cfg Config
+	run Runner
+	reg *telemetry.Registry
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   jobHeap
+	jobs    map[string]*job // queued + running
+	cache   *lru            // hash → finished successful job
+	recent  *history        // failed/canceled views for status queries
+	batches *batchStore
+	seq     uint64
+	closed  bool
+	busy    int
+
+	// avgRunS is an EWMA of job run seconds, feeding Retry-After.
+	avgRunS float64
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// New builds a Scheduler and starts its worker pool.
+func New(cfg Config, run Runner) (*Scheduler, error) {
+	if run == nil {
+		return nil, fmt.Errorf("sim: nil runner")
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:        cfg,
+		run:        run,
+		reg:        cfg.Registry,
+		jobs:       make(map[string]*job),
+		cache:      newLRU(cfg.CacheEntries),
+		recent:     newHistory(512),
+		batches:    newBatchStore(128),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Workers returns the pool size.
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// Submit normalizes, validates and enqueues a spec. A spec whose
+// result is cached returns immediately with State=JobDone and
+// Cached=true; a spec already queued or running returns the live job
+// (deduplication); a full queue returns ErrQueueFull.
+func (s *Scheduler) Submit(spec scenario.Spec, priority int) (JobView, error) {
+	sp := spec.Normalize()
+	if err := sp.Validate(); err != nil {
+		return JobView{}, err
+	}
+	id, err := sp.Hash()
+	if err != nil {
+		return JobView{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := s.submitLocked(sp, id, priority)
+	if err != nil {
+		return JobView{}, err
+	}
+	return v, nil
+}
+
+// submitLocked is the single-spec submission path; the caller holds
+// s.mu and must have normalized+validated the spec and computed its
+// hash.
+func (s *Scheduler) submitLocked(sp scenario.Spec, id string, priority int) (JobView, error) {
+	if s.closed {
+		return JobView{}, ErrShuttingDown
+	}
+	if e, ok := s.cache.get(id); ok {
+		s.reg.Inc(telemetry.MSimCacheHitsTotal)
+		v := e.view
+		v.Cached = true
+		return v, nil
+	}
+	if j, ok := s.jobs[id]; ok {
+		s.reg.Inc(telemetry.MSimJobsDedupedTotal)
+		return j.view, nil
+	}
+	s.reg.Inc(telemetry.MSimCacheMissesTotal)
+	if s.queue.Len() >= s.cfg.QueueDepth {
+		s.reg.Inc(telemetry.MSimJobsRejectedTotal)
+		return JobView{}, ErrQueueFull
+	}
+	s.seq++
+	j := &job{
+		view: JobView{
+			ID:          id,
+			Name:        sp.Name,
+			Kind:        sp.Kind,
+			State:       JobQueued,
+			Priority:    priority,
+			SubmittedAt: time.Now(),
+		},
+		spec: sp,
+		seq:  s.seq,
+		done: make(chan struct{}),
+	}
+	s.jobs[id] = j
+	s.recent.drop(id)
+	heap.Push(&s.queue, j)
+	s.reg.Inc(telemetry.MSimJobsSubmittedTotal)
+	s.reg.Set(telemetry.MSimQueueDepth, float64(s.queue.Len()))
+	s.cond.Signal()
+	return j.view, nil
+}
+
+// Job returns a snapshot of the identified job, looking through the
+// live set, the result cache and the recent-failure history.
+func (s *Scheduler) Job(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j.view, nil
+	}
+	if e, ok := s.cache.get(id); ok {
+		return e.view, nil
+	}
+	if v, ok := s.recent.get(id); ok {
+		return v, nil
+	}
+	return JobView{}, ErrUnknownJob
+}
+
+// Result returns the identified job's result JSON; ok is false until
+// the job completes successfully.
+func (s *Scheduler) Result(id string) (JobView, json.RawMessage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.cache.get(id); ok {
+		return e.view, e.result, true
+	}
+	return JobView{}, nil, false
+}
+
+// Cancel cancels a queued or running job. Canceling an unknown or
+// finished job returns false.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	switch j.view.State {
+	case JobQueued:
+		s.queue.remove(j)
+		s.finalizeLocked(j, JobCanceled, nil, context.Canceled)
+		s.reg.Set(telemetry.MSimQueueDepth, float64(s.queue.Len()))
+		s.mu.Unlock()
+		return true
+	case JobRunning:
+		cancel := j.cancel
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	}
+	s.mu.Unlock()
+	return false
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx fires)
+// and returns its final view.
+func (s *Scheduler) Wait(ctx context.Context, id string) (JobView, error) {
+	for {
+		s.mu.Lock()
+		j, live := s.jobs[id]
+		if !live {
+			if e, ok := s.cache.get(id); ok {
+				s.mu.Unlock()
+				return e.view, nil
+			}
+			if v, ok := s.recent.get(id); ok {
+				s.mu.Unlock()
+				return v, nil
+			}
+			s.mu.Unlock()
+			return JobView{}, ErrUnknownJob
+		}
+		done := j.done
+		s.mu.Unlock()
+		select {
+		case <-done:
+			// Loop to pick the final view out of cache/history.
+		case <-ctx.Done():
+			return JobView{}, ctx.Err()
+		}
+	}
+}
+
+// Stats is a point-in-time queue summary.
+type Stats struct {
+	Workers    int     `json:"workers"`
+	Busy       int     `json:"busy"`
+	Queued     int     `json:"queued"`
+	QueueDepth int     `json:"queue_depth"`
+	CacheSize  int     `json:"cache_size"`
+	AvgRunS    float64 `json:"avg_run_s"`
+}
+
+// Stats snapshots the queue.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Workers:    s.cfg.Workers,
+		Busy:       s.busy,
+		Queued:     s.queue.Len(),
+		QueueDepth: s.cfg.QueueDepth,
+		CacheSize:  s.cache.len(),
+		AvgRunS:    s.avgRunS,
+	}
+}
+
+// RetryAfter estimates how long a rejected client should wait before
+// the queue has likely freed a slot: one average job run across the
+// pool, floored at a second.
+func (s *Scheduler) RetryAfter() time.Duration {
+	s.mu.Lock()
+	avg := s.avgRunS
+	s.mu.Unlock()
+	if avg <= 0 {
+		return time.Second
+	}
+	d := time.Duration(avg / float64(s.cfg.Workers) * float64(time.Second))
+	if d < time.Second {
+		return time.Second
+	}
+	if d > 30*time.Second {
+		return 30 * time.Second
+	}
+	return d
+}
+
+// Shutdown stops intake, cancels queued jobs and waits for in-flight
+// jobs to drain. The context bounds the wait; on expiry the remaining
+// jobs are force-canceled and ctx.Err is returned.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for s.queue.Len() > 0 {
+			j := heap.Pop(&s.queue).(*job)
+			j.pos = -1
+			s.finalizeLocked(j, JobCanceled, nil, ErrShuttingDown)
+		}
+		s.reg.Set(telemetry.MSimQueueDepth, 0)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker pops jobs until shutdown empties the queue.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*job)
+		j.pos = -1
+		now := time.Now()
+		j.view.State = JobRunning
+		j.view.StartedAt = &now
+		j.view.QueueWaitS = now.Sub(j.view.SubmittedAt).Seconds()
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+		j.cancel = cancel
+		s.busy++
+		s.reg.Set(telemetry.MSimQueueDepth, float64(s.queue.Len()))
+		s.reg.Set(telemetry.MSimWorkersBusy, float64(s.busy))
+		s.reg.Observe(telemetry.MSimJobQueueWaitSeconds, j.view.QueueWaitS)
+		s.mu.Unlock()
+
+		s.execute(ctx, cancel, j)
+	}
+}
+
+// execute runs one job with timeout/cancel semantics: the runner goes
+// to a child goroutine and the worker reclaims its slot if the
+// deadline fires first (the abandoned run's result is discarded).
+func (s *Scheduler) execute(ctx context.Context, cancel context.CancelFunc, j *job) {
+	defer cancel()
+	sp := s.reg.StartSpan("sim_job")
+	sp.Attr("id", j.view.ID).Attr("kind", j.view.Kind)
+	type outcome struct {
+		result json.RawMessage
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := s.run(ctx, j.spec)
+		ch <- outcome{res, err}
+	}()
+	var out outcome
+	select {
+	case out = <-ch:
+	case <-ctx.Done():
+		out = outcome{nil, ctx.Err()}
+	}
+	sp.End()
+
+	s.mu.Lock()
+	state := JobDone
+	switch {
+	case out.err == nil:
+	case errors.Is(out.err, context.Canceled):
+		state = JobCanceled
+	default:
+		state = JobFailed
+	}
+	s.finalizeLocked(j, state, out.result, out.err)
+	s.busy--
+	s.reg.Set(telemetry.MSimWorkersBusy, float64(s.busy))
+	s.mu.Unlock()
+}
+
+// finalizeLocked moves a job to a terminal state, files it into the
+// cache or failure history, and wakes waiters. Caller holds s.mu.
+func (s *Scheduler) finalizeLocked(j *job, state JobState, result json.RawMessage, err error) {
+	if j.view.State.Terminal() {
+		return
+	}
+	now := time.Now()
+	j.view.State = state
+	j.view.FinishedAt = &now
+	if j.view.StartedAt != nil {
+		j.view.RunS = now.Sub(*j.view.StartedAt).Seconds()
+		s.reg.Observe(telemetry.MSimJobDurationSeconds, j.view.RunS)
+		const alpha = 0.2
+		if s.avgRunS == 0 {
+			s.avgRunS = j.view.RunS
+		} else {
+			s.avgRunS += alpha * (j.view.RunS - s.avgRunS)
+		}
+	}
+	switch state {
+	case JobDone:
+		j.result = result
+		s.reg.Inc(telemetry.MSimJobsCompletedTotal)
+		if s.cache.add(j.view.ID, cacheEntry{view: j.view, result: result}) {
+			s.reg.Inc(telemetry.MSimCacheEvictionsTotal)
+		}
+	case JobCanceled:
+		if err != nil {
+			j.view.Error = err.Error()
+		}
+		s.reg.Inc(telemetry.MSimJobsCanceledTotal)
+		s.recent.put(j.view)
+	case JobFailed:
+		if err != nil {
+			j.view.Error = err.Error()
+		}
+		s.reg.Inc(telemetry.MSimJobsFailedTotal)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.reg.Inc(telemetry.MSimJobsTimedOutTotal)
+		}
+		s.recent.put(j.view)
+	}
+	delete(s.jobs, j.view.ID)
+	close(j.done)
+}
+
+// ---------------------------------------------------------------------------
+// Batches
+// ---------------------------------------------------------------------------
+
+// Batch identifies a group of jobs submitted together (a sweep).
+type Batch struct {
+	ID     string   `json:"id"`
+	JobIDs []string `json:"job_ids"`
+}
+
+// SubmitBatch atomically submits a group of specs: either every spec
+// is accepted (queued, deduplicated against live jobs, or served from
+// cache) or none is and ErrQueueFull is returned. The returned views
+// parallel the input order.
+func (s *Scheduler) SubmitBatch(specs []scenario.Spec, priority int) (Batch, []JobView, error) {
+	if len(specs) == 0 {
+		return Batch{}, nil, fmt.Errorf("sim: empty batch")
+	}
+	type item struct {
+		sp scenario.Spec
+		id string
+	}
+	items := make([]item, len(specs))
+	for i, spec := range specs {
+		sp := spec.Normalize()
+		if err := sp.Validate(); err != nil {
+			return Batch{}, nil, fmt.Errorf("sim: batch spec %d: %w", i, err)
+		}
+		id, err := sp.Hash()
+		if err != nil {
+			return Batch{}, nil, err
+		}
+		items[i] = item{sp, id}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Batch{}, nil, ErrShuttingDown
+	}
+	// Capacity check first so acceptance is all-or-nothing: count the
+	// specs that will need a fresh queue slot.
+	need := 0
+	seen := make(map[string]bool, len(items))
+	for _, it := range items {
+		if seen[it.id] {
+			continue
+		}
+		seen[it.id] = true
+		if _, ok := s.cache.get(it.id); ok {
+			continue
+		}
+		if _, ok := s.jobs[it.id]; ok {
+			continue
+		}
+		need++
+	}
+	if free := s.cfg.QueueDepth - s.queue.Len(); need > free {
+		s.reg.Add(telemetry.MSimJobsRejectedTotal, int64(need))
+		return Batch{}, nil, fmt.Errorf("%w: batch needs %d slots, %d free", ErrQueueFull, need, free)
+	}
+	views := make([]JobView, len(items))
+	ids := make([]string, len(items))
+	for i, it := range items {
+		v, err := s.submitLocked(it.sp, it.id, priority)
+		if err != nil {
+			// Unreachable after the capacity check, barring duplicate
+			// hashes racing — surface loudly rather than half-submit.
+			return Batch{}, nil, err
+		}
+		views[i] = v
+		ids[i] = it.id
+	}
+	b := Batch{ID: batchID(ids), JobIDs: ids}
+	s.batches.put(b)
+	return b, views, nil
+}
+
+// BatchOf returns a previously submitted batch.
+func (s *Scheduler) BatchOf(id string) (Batch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches.get(id)
+}
+
+// batchID derives a stable identifier from the member job hashes, so
+// resubmitting the same sweep addresses the same batch.
+func batchID(ids []string) string {
+	h := sha256.New()
+	for _, id := range ids {
+		h.Write([]byte(id))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// ---------------------------------------------------------------------------
+// Priority queue
+// ---------------------------------------------------------------------------
+
+// jobHeap orders by priority (higher first), then submission order.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, k int) bool {
+	if h[i].view.Priority != h[k].view.Priority {
+		return h[i].view.Priority > h[k].view.Priority
+	}
+	return h[i].seq < h[k].seq
+}
+func (h jobHeap) Swap(i, k int) {
+	h[i], h[k] = h[k], h[i]
+	h[i].pos = i
+	h[k].pos = k
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*job)
+	j.pos = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// remove deletes a specific job from the heap (queued-job cancel).
+func (h *jobHeap) remove(j *job) {
+	if j.pos >= 0 && j.pos < len(*h) && (*h)[j.pos] == j {
+		heap.Remove(h, j.pos)
+		j.pos = -1
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -47,18 +48,39 @@ func (r *Registry) Handler() http.Handler {
 // StartDebugServer binds addr (e.g. ":6060") and serves the default
 // registry's Handler in a background goroutine. The bind happens
 // synchronously so a bad address fails fast; serve errors after a
-// successful bind are reported on stderr.
-func StartDebugServer(addr string) error {
+// successful bind are reported on stderr. The returned stop function
+// shuts the server down gracefully — in-flight scrapes finish within
+// the context's deadline, then the port and the serve goroutine are
+// released. Stop is idempotent.
+func StartDebugServer(addr string) (stop func(context.Context) error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return fmt.Errorf("telemetry: debug server: %w", err)
+		return nil, fmt.Errorf("telemetry: debug server: %w", err)
 	}
+	srv := &http.Server{Handler: Default().Handler()}
+	served := make(chan struct{})
 	go func() {
-		if err := http.Serve(ln, Default().Handler()); err != nil {
+		defer close(served)
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "telemetry: debug server: %v\n", err)
 		}
 	}()
-	return nil
+	var once sync.Once
+	stop = func(ctx context.Context) error {
+		var serr error
+		once.Do(func() {
+			serr = srv.Shutdown(ctx)
+			if serr != nil {
+				// Shutdown timed out: force the listener closed so the
+				// port is never leaked.
+				serr = fmt.Errorf("telemetry: debug server shutdown: %w", serr)
+				srv.Close()
+			}
+			<-served
+		})
+		return serr
+	}
+	return stop, nil
 }
 
 // WriteSnapshotFile writes the default registry's JSON snapshot to

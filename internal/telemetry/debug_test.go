@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDebugServerStopReleasesPort: after stop returns, the address is
+// immediately rebindable and the serve goroutine is gone — the leak
+// the -debug-addr flag used to have.
+func TestDebugServerStopReleasesPort(t *testing.T) {
+	// Grab a free port deterministically.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	stop, err := StartDebugServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server must actually answer before we shut it down.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatalf("debug server not serving: %v", err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := stop(ctx); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	// Idempotent.
+	if err := stop(ctx); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+	// Port released: rebinding must succeed right away.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port still held after stop: %v", err)
+	}
+	ln2.Close()
+	// And the handler is really down.
+	client := http.Client{Timeout: 500 * time.Millisecond}
+	if resp, err := client.Get(fmt.Sprintf("http://%s/metrics", addr)); err == nil {
+		resp.Body.Close()
+		t.Fatal("debug server still answering after stop")
+	}
+}
+
+func TestDebugServerBadAddr(t *testing.T) {
+	if _, err := StartDebugServer("256.256.256.256:99999"); err == nil {
+		t.Fatal("want bind error for a bad address")
+	}
+}

@@ -85,6 +85,24 @@ const (
 	MCoreUplinkDecodesTotal          Name = "core_uplink_decodes_total"
 	MCoreUplinkSnrDb                 Name = "core_uplink_snr_db"
 
+	// sim — the pabd job scheduler: queue, worker pool and the
+	// content-addressed result cache.
+	MSimQueueDepth          Name = "sim_queue_depth"
+	MSimWorkersBusy         Name = "sim_workers_busy"
+	MSimJobsSubmittedTotal  Name = "sim_jobs_submitted_total"
+	MSimJobsDedupedTotal    Name = "sim_jobs_deduped_total"
+	MSimJobsRejectedTotal   Name = "sim_jobs_rejected_total"
+	MSimJobsCompletedTotal  Name = "sim_jobs_completed_total"
+	MSimJobsFailedTotal     Name = "sim_jobs_failed_total"
+	MSimJobsCanceledTotal   Name = "sim_jobs_canceled_total"
+	MSimJobsTimedOutTotal   Name = "sim_jobs_timed_out_total"
+	MSimCacheHitsTotal      Name = "sim_cache_hits_total"
+	MSimCacheMissesTotal    Name = "sim_cache_misses_total"
+	MSimCacheEvictionsTotal Name = "sim_cache_evictions_total"
+	MSimJobDurationSeconds  Name = "sim_job_duration_seconds"
+	MSimJobQueueWaitSeconds Name = "sim_job_queue_wait_seconds"
+	MSimStreamRowsTotal     Name = "sim_stream_rows_total"
+
 	// fault — per-class injection counters (fault.Engine.note).
 	MFaultImpulseInjected    Name = "fault_impulse_injected_total"
 	MFaultNoiseFloorInjected Name = "fault_noise_floor_injected_total"
