@@ -399,6 +399,67 @@ func BenchmarkTelemetryOverheadRunLink(b *testing.B) {
 	}
 }
 
+// BenchmarkProfOverheadDecode bounds the cost of the stage profiler on
+// the decode chain — the densest StageTimer coverage in the repo (all
+// five stages fire per decode, sync many times). It decodes a fixed
+// exchange recording with the default registry enabled and disabled and
+// asserts the enabled path stays within the 2% observability budget.
+// Same min-of-R interleaved methodology as the RunLink bench above.
+func BenchmarkProfOverheadDecode(b *testing.B) {
+	link := newBenchLink(b, 1000)
+	res, err := link.RunQuery(frame.Query{Dest: 0x01, Command: frame.CmdPing})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Decoded == nil || len(res.Decoded.Bits) == 0 {
+		b.Fatal("no decode")
+	}
+	recv := link.Receiver()
+	carrier := link.Config().CarrierHz
+	bitrate := link.Node().Bitrate()
+	reg := Telemetry()
+	wasEnabled := reg.Enabled()
+	defer reg.SetEnabled(wasEnabled)
+
+	const samples = 14
+	run := func() {
+		if _, err := recv.DecodeUplink(res.Recording, carrier, bitrate, res.DecodeGate); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sample := func(enabled bool) time.Duration {
+		reg.SetEnabled(enabled)
+		runtime.GC()
+		gcPercent := debug.SetGCPercent(-1)
+		start := time.Now()
+		run()
+		d := time.Since(start)
+		debug.SetGCPercent(gcPercent)
+		return d
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sample(false)
+		sample(true)
+		on := time.Duration(math.MaxInt64)
+		off := time.Duration(math.MaxInt64)
+		for s := 0; s < samples; s++ {
+			if d := sample(false); d < off {
+				off = d
+			}
+			if d := sample(true); d < on {
+				on = d
+			}
+		}
+		overhead := float64(on-off) / float64(off) * 100
+		b.ReportMetric(overhead, "overhead_%")
+		if overhead > 2.0 {
+			b.Fatalf("profiler overhead %.2f%% exceeds 2%% budget (on=%v off=%v)", overhead, on, off)
+		}
+	}
+}
+
 // BenchmarkChannelResponse measures the image-method impulse response
 // computation for Pool A at order 3.
 func BenchmarkChannelResponse(b *testing.B) {

@@ -11,6 +11,7 @@ import (
 	"os"
 	"time"
 
+	"pab/internal/prof"
 	"pab/internal/telemetry"
 )
 
@@ -26,11 +27,17 @@ type TelemetryFlags struct {
 	// SnapshotPath, when non-empty, receives a JSON telemetry snapshot
 	// as the command exits (-telemetry out.json).
 	SnapshotPath string
-	// DebugAddr, when non-empty, serves /metrics, /telemetry.json and
-	// /debug/pprof for the lifetime of the process (-debug-addr :6060).
+	// DebugAddr, when non-empty, serves /metrics, /telemetry.json,
+	// /trace.json and /debug/pprof for the lifetime of the process
+	// (-debug-addr :6060).
 	DebugAddr string
+	// TracePath, when non-empty, receives a Chrome trace-event JSON
+	// file (openable in Perfetto) as the command exits (-trace-out
+	// trace.json).
+	TracePath string
 
 	stopDebug func(context.Context) error
+	poller    *prof.RuntimePoller
 }
 
 // Register installs -telemetry and -debug-addr on the default flag set.
@@ -38,7 +45,9 @@ func (t *TelemetryFlags) Register() {
 	flag.StringVar(&t.SnapshotPath, "telemetry", "",
 		"write a JSON telemetry snapshot (metrics, stage spans, decode reports) to this path on exit")
 	flag.StringVar(&t.DebugAddr, "debug-addr", "",
-		"serve /metrics, /telemetry.json and /debug/pprof on this address (e.g. :6060)")
+		"serve /metrics, /telemetry.json, /trace.json and /debug/pprof on this address (e.g. :6060)")
+	flag.StringVar(&t.TracePath, "trace-out", "",
+		"write a Chrome trace-event JSON file (open in Perfetto) to this path on exit")
 }
 
 // Start brings up the debug server when one was requested. Call it
@@ -47,12 +56,18 @@ func (t *TelemetryFlags) Start(prog string) int {
 	if t.DebugAddr == "" {
 		return ExitOK
 	}
+	// Mount /trace.json before the server builds its mux, and poll
+	// runtime/metrics (heap, GC pauses, goroutines, sched latency) into
+	// the registry while the server is up, so /metrics carries the
+	// runtime gauges alongside the pipeline histograms.
+	prof.Install(telemetry.Default())
 	stop, err := telemetry.StartDebugServer(t.DebugAddr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
 		return ExitRuntime
 	}
 	t.stopDebug = stop
+	t.poller = prof.StartRuntimePoller(telemetry.Default(), 0)
 	return ExitOK
 }
 
@@ -80,10 +95,22 @@ const debugStopTimeout = 2 * time.Second
 // partial snapshot is exactly what post-mortem debugging wants — and
 // escalates the exit code on write failure.
 func (t *TelemetryFlags) Finish(prog string, code int) int {
+	if t.poller != nil {
+		t.poller.Stop()
+		t.poller = nil
+	}
 	if t.stopDebug != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), debugStopTimeout)
 		t.StopDebug(ctx)
 		cancel()
+	}
+	if t.TracePath != "" {
+		if err := prof.WriteTraceFile(t.TracePath, telemetry.Default()); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+			if code == ExitOK {
+				code = ExitRuntime
+			}
+		}
 	}
 	if t.SnapshotPath == "" {
 		return code

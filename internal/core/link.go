@@ -215,6 +215,10 @@ type ExchangeResult struct {
 	CapVoltage float64
 	// Recording is the hydrophone pressure recording (for inspection).
 	Recording []float64
+	// DecodeGate is the sample index the offline decoder searched from
+	// (just past the reader's own downlink keying) — replay the decode
+	// with DecodeUplink(Recording, …, DecodeGate).
+	DecodeGate int
 }
 
 // RunQuery performs one complete interrogation cycle at the sample
@@ -388,6 +392,7 @@ func (l *Link) RunQuery(q frame.Query) (*ExchangeResult, error) {
 	// 6. Offline decode, gated past the reader's own downlink keying.
 	if res.UplinkBits != nil {
 		gate := queryEndX + int(0.01*l.cfg.SampleRate)
+		res.DecodeGate = gate
 		dec, err := l.recv.DecodeUplinkTraced(sp, y, l.cfg.CarrierHz, l.node.Bitrate(), gate)
 		if err == nil {
 			res.Decoded = dec

@@ -15,6 +15,7 @@ import (
 	"pab/internal/frame"
 	"pab/internal/hydrophone"
 	"pab/internal/phy"
+	"pab/internal/prof"
 	"pab/internal/telemetry"
 )
 
@@ -206,10 +207,17 @@ func (r *Receiver) DecodeUplink(pressure []float64, carrier, bitrate float64, se
 }
 
 // DecodeUplinkTraced is DecodeUplink with an optional parent telemetry
-// span: the demod → sync → decode stages become child spans, and every
-// attempt — successful or not — files a telemetry.DecodeReport.
+// span: the demod → sync → decode stages become child spans, every
+// attempt — successful or not — files a telemetry.DecodeReport, and the
+// whole chain runs under a stage=decode_uplink pprof label so CPU
+// profiles attribute receiver time separately from the rest of a
+// simulation job.
 func (r *Receiver) DecodeUplinkTraced(parent *telemetry.Span, pressure []float64, carrier, bitrate float64, searchFrom int) (*Decoded, error) {
-	dec, err := r.decodeUplinkStaged(parent, pressure, carrier, bitrate, searchFrom)
+	var dec *Decoded
+	var err error
+	prof.Do(nil, func() {
+		dec, err = r.decodeUplinkStaged(parent, pressure, carrier, bitrate, searchFrom)
+	}, "stage", "decode_uplink")
 	rep := telemetry.DecodeReport{CarrierHz: carrier, BitrateBps: bitrate}
 	if err != nil {
 		telemetry.Inc(telemetry.MCoreUplinkDecodeFailuresTotal)
@@ -235,7 +243,9 @@ var snrDBBuckets = []float64{-10, -5, 0, 2, 5, 8, 11, 15, 20, 25, 30}
 
 func (r *Receiver) decodeUplinkStaged(parent *telemetry.Span, pressure []float64, carrier, bitrate float64, searchFrom int) (*Decoded, error) {
 	spDemod := parent.Child("demod")
+	stRecord := prof.Start(prof.StageRecord)
 	volts, err := r.Hydro.Record(pressure)
+	stRecord.Stop(len(pressure))
 	if err != nil {
 		spDemod.End()
 		return nil, err
@@ -277,6 +287,8 @@ func (r *Receiver) decodeUplinkStaged(parent *telemetry.Span, pressure []float64
 
 	spDecode := parent.Child("decode")
 	defer spDecode.End()
+	stDecode := prof.Start(prof.StageDecode)
+	defer stDecode.Stop(len(bb))
 	// Try candidates in score order; the CRC arbitrates which lock is
 	// the real packet (payload structure can out-correlate the preamble
 	// under heavy ISI).

@@ -1,6 +1,10 @@
 package dsp
 
-import "math"
+import (
+	"math"
+
+	"pab/internal/prof"
+)
 
 // Oscillator generates coherent sinusoids sample by sample. It tracks phase
 // continuously so consecutive blocks are phase-continuous.
@@ -73,7 +77,10 @@ func DownconvertLP(x []float64, fc, fs, cutoff float64, order int) ([]complex128
 	if err != nil {
 		return nil, err
 	}
+	st := prof.Start(prof.StageDownconvert)
 	mixed := Downconvert(x, fc, fs)
+	st.Stop(len(x))
+	st = prof.Start(prof.StageFilter)
 	re := make([]float64, len(mixed))
 	im := make([]float64, len(mixed))
 	for i, c := range mixed {
@@ -86,6 +93,7 @@ func DownconvertLP(x []float64, fc, fs, cutoff float64, order int) ([]complex128
 	for i := range out {
 		out[i] = complex(re[i], im[i])
 	}
+	st.Stop(len(mixed))
 	return out, nil
 }
 

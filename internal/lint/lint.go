@@ -183,6 +183,9 @@ func DefaultConfig() *Config {
 		},
 		ImpurityExemptPkgs: []string{
 			"pab/internal/telemetry",
+			// The stage profiler timestamps spans, never physics: its
+			// time.Now reads are observability, same as telemetry.
+			"pab/internal/prof",
 		},
 		UnitsPkg:     "pab/internal/units",
 		TelemetryPkg: "pab/internal/telemetry",

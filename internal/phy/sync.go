@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 
 	"pab/internal/dsp"
+	"pab/internal/prof"
 	"pab/internal/telemetry"
 )
 
@@ -51,6 +52,8 @@ func DetectPacket(wave []float64, m *FM0, threshold float64) (Sync, error) {
 // when payload structure correlates with the preamble template as well —
 // it can test each candidate and keep the one that decodes.
 func DetectPacketCandidates(wave []float64, m *FM0, threshold float64, maxK, minSeparation int) ([]Sync, error) {
+	st := prof.Start(prof.StageSync)
+	defer st.Stop(len(wave))
 	tmpl := m.EncodeTemplate(PreambleBits)
 	if len(wave) < len(tmpl) {
 		return nil, fmt.Errorf("phy: waveform shorter than preamble (%d < %d)", len(wave), len(tmpl))

@@ -1,0 +1,191 @@
+package prof
+
+import (
+	"testing"
+	"time"
+
+	"pab/internal/telemetry"
+)
+
+func TestStageTimerRecordsHistogramsAndSpan(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	SetAllocTracking(true)
+	defer SetAllocTracking(false)
+
+	st := StartIn(reg, StageDecode)
+	if st == nil {
+		t.Fatal("StartIn returned nil on an enabled registry")
+	}
+	// Allocate something measurable and let time pass.
+	sink := make([]byte, 1<<16)
+	_ = sink
+	time.Sleep(time.Millisecond)
+	d := st.Stop(1000)
+	if d <= 0 {
+		t.Fatalf("Stop returned non-positive duration %v", d)
+	}
+
+	snap := reg.Snapshot()
+	if h := snap.Histograms[string(telemetry.MProfStageDecodeSeconds)]; h.Count != 1 {
+		t.Fatalf("seconds histogram count = %d, want 1", h.Count)
+	}
+	if h := snap.Histograms[string(telemetry.MProfStageDecodeSamplesPerSec)]; h.Count != 1 {
+		t.Fatalf("throughput histogram count = %d, want 1", h.Count)
+	}
+	if h := snap.Histograms[string(telemetry.MProfStageDecodeAllocBytes)]; h.Count != 1 {
+		t.Fatalf("alloc histogram count = %d, want 1", h.Count)
+	}
+	if len(snap.Spans) != 1 {
+		t.Fatalf("span records = %d, want 1", len(snap.Spans))
+	}
+	sp := snap.Spans[0]
+	if sp.Name != "stage_decode" {
+		t.Fatalf("span name = %q, want stage_decode", sp.Name)
+	}
+	if got := sp.Attrs["samples"]; got != 1000 {
+		t.Fatalf("samples attr = %v, want 1000", got)
+	}
+	if _, ok := sp.Attrs["alloc_bytes"]; !ok {
+		t.Fatal("alloc_bytes attr missing with alloc tracking on")
+	}
+}
+
+func TestStageTimerDisabledIsNoOp(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.SetEnabled(false)
+	st := StartIn(reg, StageSync)
+	if st != nil {
+		t.Fatal("StartIn should return nil on a disabled registry")
+	}
+	// The nil timer must be safe throughout.
+	if d := st.WithParent(7).Stop(123); d != 0 {
+		t.Fatalf("nil timer Stop = %v, want 0", d)
+	}
+	if len(reg.Snapshot().Spans) != 0 {
+		t.Fatal("disabled registry recorded spans")
+	}
+}
+
+func TestStageTimerParentLinksSpanTree(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	root := reg.StartSpan("bench_decode")
+	st := StartIn(reg, StageSync).WithParent(root.ID())
+	st.Stop(10)
+	root.End()
+
+	var found bool
+	for _, sp := range reg.Snapshot().Spans {
+		if sp.Name == "stage_sync" {
+			found = true
+			if sp.ParentID != root.ID() {
+				t.Fatalf("stage_sync parent = %d, want %d", sp.ParentID, root.ID())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("stage_sync span not recorded")
+	}
+}
+
+func TestDoRunsFnInAllModes(t *testing.T) {
+	was := telemetry.Enabled()
+	defer telemetry.SetEnabled(was)
+
+	for _, enabled := range []bool{true, false} {
+		telemetry.SetEnabled(enabled)
+		ran := false
+		Do(nil, func() { ran = true }, "stage", "test")
+		if !ran {
+			t.Fatalf("Do(enabled=%v) did not run fn", enabled)
+		}
+	}
+	// Odd/short label lists run fn directly instead of panicking in
+	// pprof.Labels.
+	telemetry.SetEnabled(true)
+	ran := false
+	Do(nil, func() { ran = true }, "stage")
+	if !ran {
+		t.Fatal("Do with short label list did not run fn")
+	}
+}
+
+func TestCollectStageStats(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	base := time.Now()
+	for i, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		reg.RecordSpan("stage_sync", 0, base.Add(time.Duration(i)*time.Millisecond), d,
+			map[string]any{"samples": 100, "alloc_bytes": int64(50)})
+	}
+	reg.RecordSpan("not_a_stage", 0, base, time.Millisecond, nil)
+
+	stats := CollectStageStats(reg.Snapshot().Spans)
+	if len(stats) != 1 {
+		t.Fatalf("stats for %d stages, want 1", len(stats))
+	}
+	s, ok := stats["sync"]
+	if !ok {
+		t.Fatal("sync stage missing")
+	}
+	if s.Count != 3 || s.TotalSamples != 300 {
+		t.Fatalf("count=%d samples=%d, want 3/300", s.Count, s.TotalSamples)
+	}
+	if s.P50MS < 1.9 || s.P50MS > 2.1 {
+		t.Fatalf("p50 = %.3f ms, want ~2", s.P50MS)
+	}
+	if s.MaxMS < 2.9 || s.MaxMS > 3.1 {
+		t.Fatalf("max = %.3f ms, want ~3", s.MaxMS)
+	}
+	if s.AllocBytesPerOp != 50 {
+		t.Fatalf("alloc/op = %g, want 50", s.AllocBytesPerOp)
+	}
+	if s.OpsPerSec <= 0 || s.SamplesPerSec <= 0 {
+		t.Fatalf("rates not positive: %+v", s)
+	}
+}
+
+func TestBenchReportCheckAgainst(t *testing.T) {
+	base := BenchReport{
+		Stages: map[string]StageStats{
+			"sync":   {Count: 10, P50MS: 1.0, TotalSamples: 100},
+			"decode": {Count: 10, P50MS: 2.0, TotalSamples: 100},
+		},
+	}
+	// Clean run: slight regression within budget.
+	cur := BenchReport{
+		Decoded: 5,
+		Stages: map[string]StageStats{
+			"sync":   {Count: 10, P50MS: 1.5, TotalSamples: 100},
+			"decode": {Count: 10, P50MS: 2.0, TotalSamples: 100},
+		},
+	}
+	if problems := cur.CheckAgainst(base, 2, 0.05); len(problems) != 0 {
+		t.Fatalf("clean run flagged: %v", problems)
+	}
+	// Regression, missing stage, zero samples, zero decodes.
+	bad := BenchReport{
+		Stages: map[string]StageStats{
+			"sync": {Count: 10, P50MS: 5.0, TotalSamples: 0},
+		},
+	}
+	problems := bad.CheckAgainst(base, 2, 0.05)
+	if len(problems) != 4 {
+		t.Fatalf("want 4 problems (regression, zero samples, missing stage, zero decodes), got %d: %v",
+			len(problems), problems)
+	}
+	// The floor keeps sub-noise stages from tripping the ratio: 0.01 ms
+	// vs 0.001 ms is 10x raw but 1x after a 0.05 ms floor.
+	noisy := BenchReport{
+		Decoded: 1,
+		Stages: map[string]StageStats{
+			"sync":   {Count: 10, P50MS: 0.01, TotalSamples: 100},
+			"decode": {Count: 10, P50MS: 2.0, TotalSamples: 100},
+		},
+	}
+	tiny := BenchReport{Stages: map[string]StageStats{
+		"sync":   {Count: 10, P50MS: 0.001, TotalSamples: 100},
+		"decode": {Count: 10, P50MS: 2.0, TotalSamples: 100},
+	}}
+	if problems := noisy.CheckAgainst(tiny, 2, 0.05); len(problems) != 0 {
+		t.Fatalf("floored comparison flagged: %v", problems)
+	}
+}

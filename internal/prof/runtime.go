@@ -1,0 +1,203 @@
+package prof
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"pab/internal/telemetry"
+)
+
+// runtime/metrics keys the poller samples. Kinds are checked at read
+// time (KindBad on an unknown key), so a toolchain that drops a key
+// degrades to skipping it rather than failing.
+const (
+	rmHeapBytes   = "/memory/classes/heap/objects:bytes"
+	rmHeapObjects = "/gc/heap/objects:objects"
+	rmGoroutines  = "/sched/goroutines:goroutines"
+	rmGCCycles    = "/gc/cycles/total:gc-cycles"
+	rmAllocBytes  = "/gc/heap/allocs:bytes"
+	rmGCPauses    = "/gc/pauses:seconds"
+	rmSchedLat    = "/sched/latencies:seconds"
+)
+
+// RuntimePoller periodically samples the Go runtime (heap in use,
+// goroutine count, GC pauses, scheduler latency) into registry gauges
+// and counters, so the Prometheus exposition and /telemetry.json show
+// runtime pressure next to the pipeline's own numbers — GC pause
+// spikes lining up with decode p99 excursions is exactly the
+// correlation the raw-speed campaign needs visible.
+type RuntimePoller struct {
+	reg      *telemetry.Registry
+	interval time.Duration
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+
+	// cumulative counters from the previous poll, for delta feeding of
+	// monotonic registry counters.
+	lastGC    uint64
+	lastAlloc uint64
+	havePrev  bool
+}
+
+// StartRuntimePoller begins polling the runtime every interval (≥
+// 100 ms enforced; 0 selects 1 s) into the registry. It polls once
+// synchronously so metrics exist immediately. Call Stop to release
+// the goroutine.
+func StartRuntimePoller(reg *telemetry.Registry, interval time.Duration) *RuntimePoller {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	p := &RuntimePoller{
+		reg:      reg,
+		interval: interval,
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	p.poll()
+	go p.loop()
+	return p
+}
+
+// Stop halts the poller and waits for its goroutine to exit.
+// Idempotent.
+func (p *RuntimePoller) Stop() {
+	p.stopOnce.Do(func() { close(p.stopCh) })
+	<-p.done
+}
+
+func (p *RuntimePoller) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.poll()
+		case <-p.stopCh:
+			return
+		}
+	}
+}
+
+// poll reads one batch of runtime metrics into the registry.
+func (p *RuntimePoller) poll() {
+	if !p.reg.Enabled() {
+		return
+	}
+	samples := []metrics.Sample{
+		{Name: rmHeapBytes},
+		{Name: rmHeapObjects},
+		{Name: rmGoroutines},
+		{Name: rmGCCycles},
+		{Name: rmAllocBytes},
+		{Name: rmGCPauses},
+		{Name: rmSchedLat},
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Name {
+		case rmHeapBytes:
+			if s.Value.Kind() == metrics.KindUint64 {
+				p.reg.Set(telemetry.MRuntimeHeapBytes, float64(s.Value.Uint64()))
+			}
+		case rmHeapObjects:
+			if s.Value.Kind() == metrics.KindUint64 {
+				p.reg.Set(telemetry.MRuntimeHeapObjects, float64(s.Value.Uint64()))
+			}
+		case rmGoroutines:
+			if s.Value.Kind() == metrics.KindUint64 {
+				p.reg.Set(telemetry.MRuntimeGoroutines, float64(s.Value.Uint64()))
+			}
+		case rmGCCycles:
+			if s.Value.Kind() == metrics.KindUint64 {
+				v := s.Value.Uint64()
+				if p.havePrev && v > p.lastGC {
+					p.reg.Add(telemetry.MRuntimeGCCyclesTotal, int64(v-p.lastGC))
+				} else if !p.havePrev {
+					p.reg.Add(telemetry.MRuntimeGCCyclesTotal, int64(v))
+				}
+				p.lastGC = v
+			}
+		case rmAllocBytes:
+			if s.Value.Kind() == metrics.KindUint64 {
+				v := s.Value.Uint64()
+				if p.havePrev && v > p.lastAlloc {
+					p.reg.Add(telemetry.MRuntimeAllocBytesTotal, int64(v-p.lastAlloc))
+				} else if !p.havePrev {
+					p.reg.Add(telemetry.MRuntimeAllocBytesTotal, int64(v))
+				}
+				p.lastAlloc = v
+			}
+		case rmGCPauses:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				p.reg.Set(telemetry.MRuntimeGCPauseP50Seconds, histQuantile(h, 0.5))
+				p.reg.Set(telemetry.MRuntimeGCPauseMaxSeconds, histMax(h))
+			}
+		case rmSchedLat:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				p.reg.Set(telemetry.MRuntimeSchedLatencyP50Seconds, histQuantile(h, 0.5))
+				p.reg.Set(telemetry.MRuntimeSchedLatencyP99Seconds, histQuantile(h, 0.99))
+			}
+		}
+	}
+	p.havePrev = true
+	p.reg.Inc(telemetry.MProfRuntimePollsTotal)
+}
+
+// histQuantile estimates quantile q (0..1) of a runtime
+// Float64Histogram by bucket interpolation (lower-edge convention;
+// ±Inf edges fall back to the finite neighbour).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			lo, hi := bucketEdges(h, i)
+			return (lo + hi) / 2
+		}
+	}
+	lo, hi := bucketEdges(h, len(h.Counts)-1)
+	return (lo + hi) / 2
+}
+
+// histMax returns the midpoint of the highest occupied bucket.
+func histMax(h *metrics.Float64Histogram) float64 {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			lo, hi := bucketEdges(h, i)
+			return (lo + hi) / 2
+		}
+	}
+	return 0
+}
+
+// bucketEdges returns finite edges for bucket i: runtime histograms
+// bracket bucket i with Buckets[i] and Buckets[i+1], either of which
+// may be ±Inf.
+func bucketEdges(h *metrics.Float64Histogram, i int) (lo, hi float64) {
+	lo, hi = h.Buckets[i], h.Buckets[i+1]
+	if math.IsInf(lo, -1) || math.IsNaN(lo) || lo < 0 {
+		lo = 0
+	}
+	if math.IsInf(hi, 1) || math.IsNaN(hi) {
+		hi = lo
+	}
+	return lo, hi
+}

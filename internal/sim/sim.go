@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"pab/internal/prof"
 	"pab/internal/scenario"
 	"pab/internal/telemetry"
 )
@@ -155,6 +156,12 @@ type Scheduler struct {
 	// avgRunS is an EWMA of job run seconds, feeding Retry-After.
 	avgRunS float64
 
+	// slowest holds the worst-N finished jobs by run time, longest
+	// first. Job IDs are scenario content hashes, so the table names
+	// exactly which specs to replay when hunting a latency outlier
+	// (surfaced in /telemetry.json under "sim_slowest_jobs").
+	slowest []JobView
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
@@ -179,11 +186,44 @@ func New(cfg Config, run Runner) (*Scheduler, error) {
 		baseCancel: cancel,
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.reg.PublishExtra("sim_slowest_jobs", func() any { return s.SlowestJobs() })
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// slowestJobsKept bounds the worst-N slowest-jobs table.
+const slowestJobsKept = 16
+
+// SlowestJobs returns the worst-N finished jobs by run time, longest
+// first.
+func (s *Scheduler) SlowestJobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, len(s.slowest))
+	copy(out, s.slowest)
+	return out
+}
+
+// noteSlowLocked files a finished job into the worst-N table. Caller
+// holds s.mu; j.view.RunS must be final.
+func (s *Scheduler) noteSlowLocked(v JobView) {
+	if len(s.slowest) == slowestJobsKept && v.RunS <= s.slowest[len(s.slowest)-1].RunS {
+		return
+	}
+	// Insert sorted (descending RunS); the table is tiny.
+	i := len(s.slowest)
+	for i > 0 && s.slowest[i-1].RunS < v.RunS {
+		i--
+	}
+	s.slowest = append(s.slowest, JobView{})
+	copy(s.slowest[i+1:], s.slowest[i:])
+	s.slowest[i] = v
+	if len(s.slowest) > slowestJobsKept {
+		s.slowest = s.slowest[:slowestJobsKept]
+	}
 }
 
 // Workers returns the pool size.
@@ -440,27 +480,41 @@ func (s *Scheduler) worker() {
 		s.busy++
 		s.reg.Set(telemetry.MSimQueueDepth, float64(s.queue.Len()))
 		s.reg.Set(telemetry.MSimWorkersBusy, float64(s.busy))
+		// The job's life splits at dequeue: everything before now is
+		// queue wait, everything after is service. The wait feeds its
+		// histogram here and is reconstructed as a span under the job's
+		// span tree, so trace export (prof.BuildTrace) renders both
+		// phases of a job on one Perfetto track.
 		s.reg.Observe(telemetry.MSimJobQueueWaitSeconds, j.view.QueueWaitS)
+		sp := s.reg.StartSpan("sim_job")
+		sp.Attr("id", j.view.ID).Attr("kind", j.view.Kind)
+		s.reg.RecordSpan("sim_queue_wait", sp.ID(), j.view.SubmittedAt,
+			now.Sub(j.view.SubmittedAt), map[string]any{"id": j.view.ID})
 		s.mu.Unlock()
 
-		s.execute(ctx, cancel, j)
+		s.execute(ctx, cancel, j, sp)
 	}
 }
 
 // execute runs one job with timeout/cancel semantics: the runner goes
 // to a child goroutine and the worker reclaims its slot if the
 // deadline fires first (the abandoned run's result is discarded).
-func (s *Scheduler) execute(ctx context.Context, cancel context.CancelFunc, j *job) {
+func (s *Scheduler) execute(ctx context.Context, cancel context.CancelFunc, j *job, sp *telemetry.Span) {
 	defer cancel()
-	sp := s.reg.StartSpan("sim_job")
-	sp.Attr("id", j.view.ID).Attr("kind", j.view.Kind)
 	type outcome struct {
 		result json.RawMessage
 		err    error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := s.run(ctx, j.spec)
+		var res json.RawMessage
+		var err error
+		// Label the runner goroutine so CPU profiles attribute samples
+		// to the job (flamegraphs filterable by stage/job/spec hash —
+		// the job ID is the scenario's content hash).
+		prof.Do(ctx, func() {
+			res, err = s.run(ctx, j.spec)
+		}, "stage", "sim_job", "job_id", j.view.ID, "spec_hash", j.view.ID, "kind", j.view.Kind)
 		ch <- outcome{res, err}
 	}()
 	var out outcome
@@ -504,6 +558,7 @@ func (s *Scheduler) finalizeLocked(j *job, state JobState, result json.RawMessag
 		} else {
 			s.avgRunS += alpha * (j.view.RunS - s.avgRunS)
 		}
+		s.noteSlowLocked(j.view)
 	}
 	switch state {
 	case JobDone:

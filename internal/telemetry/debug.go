@@ -8,24 +8,39 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	// Register the pprof handlers on http.DefaultServeMux; Handler
 	// forwards /debug/ requests there.
 	_ "net/http/pprof"
 )
 
-var publishOnce sync.Once
+// expvarSeq numbers non-default registries' expvar publications:
+// expvar.Publish panics on duplicate names, so every registry gets a
+// distinct key.
+var expvarSeq atomic.Uint64
 
 // Handler returns an http.Handler exposing the registry:
 //
 //	/metrics         Prometheus text exposition
 //	/telemetry.json  full JSON snapshot (metrics + spans + reports)
 //	/debug/pprof/*   the standard pprof handlers
-//	/debug/vars      expvar (includes a pab_telemetry snapshot var)
+//	/debug/vars      expvar (includes this registry's snapshot var)
+//
+// plus any extra routes mounted with Registry.Handle (the profiler's
+// /trace.json). The expvar publication is per-registry: the default
+// registry appears as "pab_telemetry", any other registry as
+// "pab_telemetry_<n>" — so a custom registry's /debug/vars reports its
+// own snapshot, not the default's. The key is assigned the first time
+// Handler is called on a given registry and reused afterwards.
 func (r *Registry) Handler() http.Handler {
-	publishOnce.Do(func() {
-		expvar.Publish("pab_telemetry", expvar.Func(func() any {
-			return Default().Snapshot()
+	r.expvarOnce.Do(func() {
+		key := "pab_telemetry"
+		if r != defaultReg {
+			key = fmt.Sprintf("pab_telemetry_%d", expvarSeq.Add(1))
+		}
+		expvar.Publish(key, expvar.Func(func() any {
+			return r.Snapshot()
 		}))
 	})
 	mux := http.NewServeMux()
@@ -42,6 +57,15 @@ func (r *Registry) Handler() http.Handler {
 		}
 	})
 	mux.Handle("/debug/", http.DefaultServeMux)
+	r.extraMu.RLock()
+	for pattern, h := range r.routes {
+		switch pattern {
+		case "/metrics", "/telemetry.json", "/debug/":
+			continue
+		}
+		mux.Handle(pattern, h)
+	}
+	r.extraMu.RUnlock()
 	return mux
 }
 

@@ -103,6 +103,35 @@ const (
 	MSimJobQueueWaitSeconds Name = "sim_job_queue_wait_seconds"
 	MSimStreamRowsTotal     Name = "sim_stream_rows_total"
 
+	// prof — stage-level pipeline profiler (internal/prof). Each
+	// receiver-chain stage records wall time, samples/sec throughput
+	// and a heap-allocation delta.
+	MProfStageRecordSeconds          Name = "prof_stage_record_seconds"
+	MProfStageRecordSamplesPerSec    Name = "prof_stage_record_samples_per_second"
+	MProfStageRecordAllocBytes       Name = "prof_stage_record_alloc_bytes"
+	MProfStageDownconvertSeconds     Name = "prof_stage_downconvert_seconds"
+	MProfStageDownconvertSamplesPSec Name = "prof_stage_downconvert_samples_per_second"
+	MProfStageDownconvertAllocBytes  Name = "prof_stage_downconvert_alloc_bytes"
+	MProfStageFilterSeconds          Name = "prof_stage_filter_seconds"
+	MProfStageFilterSamplesPerSec    Name = "prof_stage_filter_samples_per_second"
+	MProfStageFilterAllocBytes       Name = "prof_stage_filter_alloc_bytes"
+	MProfStageSyncSeconds            Name = "prof_stage_sync_seconds"
+	MProfStageSyncSamplesPerSec      Name = "prof_stage_sync_samples_per_second"
+	MProfStageSyncAllocBytes         Name = "prof_stage_sync_alloc_bytes"
+	MProfStageDecodeSeconds          Name = "prof_stage_decode_seconds"
+	MProfStageDecodeSamplesPerSec    Name = "prof_stage_decode_samples_per_second"
+	MProfStageDecodeAllocBytes       Name = "prof_stage_decode_alloc_bytes"
+	MProfRuntimePollsTotal           Name = "prof_runtime_polls_total"
+	MRuntimeHeapBytes                Name = "runtime_heap_bytes"
+	MRuntimeHeapObjects              Name = "runtime_heap_objects"
+	MRuntimeGoroutines               Name = "runtime_goroutines"
+	MRuntimeGCCyclesTotal            Name = "runtime_gc_cycles_total"
+	MRuntimeAllocBytesTotal          Name = "runtime_alloc_bytes_total"
+	MRuntimeGCPauseP50Seconds        Name = "runtime_gc_pause_p50_seconds"
+	MRuntimeGCPauseMaxSeconds        Name = "runtime_gc_pause_max_seconds"
+	MRuntimeSchedLatencyP50Seconds   Name = "runtime_sched_latency_p50_seconds"
+	MRuntimeSchedLatencyP99Seconds   Name = "runtime_sched_latency_p99_seconds"
+
 	// fault — per-class injection counters (fault.Engine.note).
 	MFaultImpulseInjected    Name = "fault_impulse_injected_total"
 	MFaultNoiseFloorInjected Name = "fault_noise_floor_injected_total"

@@ -113,3 +113,47 @@ func (s *Span) Name() string {
 	}
 	return s.name
 }
+
+// ID returns the span's registry-unique id (0 on nil — a no-op span —
+// so it can be passed straight to RecordSpan as a parent).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// RecordSpan files an externally measured span directly into the span
+// ring: a phase whose boundaries were observed after the fact (the
+// scheduler's queue-wait, reconstructed at dequeue) or measured by a
+// specialised timer (prof.StageTimer). parent links the record into an
+// existing span tree (0 for a root). Unlike Span.End it does not feed
+// the span_*_seconds histogram — the caller owns any histogram
+// observation. Returns the assigned id (0 when disabled).
+func (r *Registry) RecordSpan(name string, parent uint64, start time.Time, d time.Duration, attrs map[string]any) uint64 {
+	if !r.enabled.Load() {
+		return 0
+	}
+	rec := SpanRecord{
+		ID:              r.spanSeq.Add(1),
+		ParentID:        parent,
+		Name:            name,
+		Start:           start,
+		DurationSeconds: d.Seconds(),
+		Attrs:           attrs,
+	}
+	r.spanMu.Lock()
+	r.spans[r.spanPos] = rec
+	r.spanPos = (r.spanPos + 1) % len(r.spans)
+	if r.spanLen < len(r.spans) {
+		r.spanLen++
+	}
+	r.spanMu.Unlock()
+	return rec.ID
+}
+
+// RecordSpan files an externally measured span into the default
+// registry.
+func RecordSpan(name string, parent uint64, start time.Time, d time.Duration, attrs map[string]any) uint64 {
+	return defaultReg.RecordSpan(name, parent, start, d, attrs)
+}

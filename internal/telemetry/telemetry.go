@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -187,6 +188,19 @@ var DefDurationBuckets = []float64{
 // (taps, candidates, slot occupancy …).
 var DefCountBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
+// DefThroughputBuckets are default bounds for rate distributions
+// (samples/sec through a DSP stage), 1 kHz … 1 GHz, ~×3 per step.
+var DefThroughputBuckets = []float64{
+	1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9,
+}
+
+// DefBytesBuckets are default bounds for byte-size distributions
+// (per-stage allocation deltas), 0 … 256 MiB.
+var DefBytesBuckets = []float64{
+	0, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20,
+}
+
 // SpanRecord is a finished span as stored in the registry.
 type SpanRecord struct {
 	ID       uint64    `json:"id"`
@@ -209,6 +223,9 @@ type Snapshot struct {
 	// DecodeReports are the most recent uplink decode diagnostics,
 	// oldest first.
 	DecodeReports []DecodeReport `json:"decode_reports,omitempty"`
+	// Extra carries named JSON sections contributed by PublishExtra
+	// callbacks (e.g. the scheduler's slowest-jobs table).
+	Extra map[string]any `json:"extra,omitempty"`
 }
 
 const (
@@ -237,6 +254,12 @@ type Registry struct {
 	reports   []DecodeReport // ring
 	reportPos int
 	reportLen int
+
+	extraMu sync.RWMutex
+	extras  map[string]func() any
+	routes  map[string]http.Handler
+
+	expvarOnce sync.Once
 }
 
 // NewRegistry returns an enabled, empty registry.
@@ -357,6 +380,38 @@ func (r *Registry) ObserveN(name Name, bounds []float64, v float64) {
 	r.Histogram(name, bounds).Observe(v)
 }
 
+// PublishExtra registers a callback whose JSON-encodable return value
+// appears in every Snapshot under Extra[name] (and with it in
+// /telemetry.json). Re-publishing a name replaces the callback; a nil
+// callback removes it. The callback runs outside the registry's locks,
+// so it may itself read metrics, but it must be safe for concurrent
+// use and should return quickly.
+func (r *Registry) PublishExtra(name string, f func() any) {
+	r.extraMu.Lock()
+	defer r.extraMu.Unlock()
+	if f == nil {
+		delete(r.extras, name)
+		return
+	}
+	if r.extras == nil {
+		r.extras = make(map[string]func() any)
+	}
+	r.extras[name] = f
+}
+
+// Handle mounts an extra route on every http.Handler the registry
+// subsequently builds (Handler). The profiler uses this to expose
+// /trace.json without the telemetry core depending on it. Patterns
+// shadowing the built-in routes are ignored.
+func (r *Registry) Handle(pattern string, h http.Handler) {
+	r.extraMu.Lock()
+	defer r.extraMu.Unlock()
+	if r.routes == nil {
+		r.routes = make(map[string]http.Handler)
+	}
+	r.routes[pattern] = h
+}
+
 // Reset clears every metric, span and decode report (the registry stays
 // enabled/disabled as it was). Intended for tests and between
 // experiment runs.
@@ -408,6 +463,19 @@ func (r *Registry) Snapshot() Snapshot {
 	r.reportMu.Lock()
 	snap.DecodeReports = ringCopy(r.reports, r.reportPos, r.reportLen)
 	r.reportMu.Unlock()
+
+	r.extraMu.RLock()
+	fns := make(map[string]func() any, len(r.extras))
+	for name, f := range r.extras {
+		fns[name] = f
+	}
+	r.extraMu.RUnlock()
+	if len(fns) > 0 {
+		snap.Extra = make(map[string]any, len(fns))
+		for name, f := range fns {
+			snap.Extra[name] = f()
+		}
+	}
 	return snap
 }
 
