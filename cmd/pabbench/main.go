@@ -18,6 +18,13 @@
 //   - physics: real chaos scenarios through scenario.Run, reporting
 //     end-to-end ops/sec and p50/p99 job latency, then a full replay of
 //     the same sweep to measure content-addressed cache throughput.
+//
+// With -wal a third workload repeats the physics sweep on a WAL-backed
+// durable store (DESIGN.md §14) in a temp directory, reporting the
+// durability overhead versus the in-memory sweep, the cost of a
+// restart replay, and the raw WAL counters. -wal-fsync picks the
+// fsync policy being measured (interval by default; always is the
+// power-loss-safe worst case).
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"pab/internal/scenario"
 	"pab/internal/sim"
 	"pab/internal/telemetry"
+	"pab/internal/wal"
 )
 
 func main() {
@@ -44,6 +52,8 @@ func realMain() int {
 	jobs := flag.Int("jobs", 100, "jobs per workload sweep")
 	workers := flag.Int("workers", 8, "parallel worker-pool size")
 	service := flag.Duration("service", 20*time.Millisecond, "fixed service time per scheduler-workload job")
+	durable := flag.Bool("wal", false, "also sweep against a WAL-backed durable store and report the overhead")
+	walFsync := flag.String("wal-fsync", "interval", "WAL fsync policy for the durable sweep: always, interval or never")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "pabbench: unexpected arguments: %v\n", flag.Args())
@@ -53,8 +63,13 @@ func realMain() int {
 		fmt.Fprintln(os.Stderr, "pabbench: -jobs and -workers must be positive")
 		return cli.Usage()
 	}
+	fsync, err := wal.ParseFsyncPolicy(*walFsync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pabbench: %v\n", err)
+		return cli.Usage()
+	}
 
-	report, err := run(*jobs, *workers, *service)
+	report, err := run(*jobs, *workers, *service, *durable, fsync, *walFsync)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pabbench: %v\n", err)
 		return cli.ExitRuntime
@@ -84,6 +99,22 @@ type Report struct {
 	Scheduler SchedulerResult  `json:"scheduler"`
 	Physics   PhysicsResult    `json:"physics"`
 	CacheHits CacheReplayStats `json:"cache_replay"`
+	Durable   *DurableResult   `json:"durable,omitempty"`
+}
+
+// DurableResult measures the physics sweep on a WAL-backed store: the
+// write-path overhead versus the in-memory sweep, the cost of a
+// restart replay, and the raw WAL counters behind both.
+type DurableResult struct {
+	Fsync           string  `json:"fsync"`
+	WallS           float64 `json:"wall_s"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	ReplayWallS     float64 `json:"replay_wall_s"`
+	ReplayedResults int64   `json:"replayed_results"`
+	WALAppends      uint64  `json:"wal_appends"`
+	WALFsyncs       uint64  `json:"wal_fsyncs"`
+	WALSizeBytes    int64   `json:"wal_size_bytes"`
 }
 
 // SchedulerResult is the fixed-service-time speedup measurement.
@@ -111,7 +142,7 @@ type CacheReplayStats struct {
 	Hits      int64   `json:"hits"`
 }
 
-func run(jobs, workers int, service time.Duration) (*Report, error) {
+func run(jobs, workers int, service time.Duration, durable bool, fsync wal.FsyncPolicy, fsyncName string) (*Report, error) {
 	rep := &Report{Jobs: jobs, Workers: workers}
 
 	// --- scheduler workload: fixed service time, serial vs pool ---
@@ -183,7 +214,90 @@ func run(jobs, workers int, service time.Duration) (*Report, error) {
 		OpsPerSec: float64(jobs) / replay.Seconds(),
 		Hits:      reg.Counter(telemetry.MSimCacheHitsTotal).Value(),
 	}
+
+	if durable {
+		dur, err := durableSweep(jobs, workers, fsync, fsyncName, rep.Physics.WallS)
+		if err != nil {
+			return nil, fmt.Errorf("durable sweep: %w", err)
+		}
+		rep.Durable = dur
+	}
 	return rep, nil
+}
+
+// durableSweep reruns the physics sweep on a WAL-backed store in a
+// temp directory, then restarts the store to time a cold replay of
+// the finished batch. memWallS is the in-memory sweep's wall time,
+// the baseline for overhead_pct.
+func durableSweep(jobs, workers int, fsync wal.FsyncPolicy, fsyncName string, memWallS float64) (*DurableResult, error) {
+	dir, err := os.MkdirTemp("", "pabbench-wal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	store, err := sim.OpenStore(wal.Options{Dir: dir, Fsync: fsync})
+	if err != nil {
+		return nil, err
+	}
+	sched, err := sim.New(sim.Config{
+		Workers: workers, QueueDepth: jobs, CacheEntries: jobs,
+		Registry: telemetry.NewRegistry(), Store: store,
+	}, sim.ScenarioRunner)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	start := time.Now()
+	if _, err := runSweep(sched, chaosSweep(jobs)); err != nil {
+		shutdown(sched)
+		store.Close()
+		return nil, err
+	}
+	wall := time.Since(start)
+	var walStats wal.Stats
+	if st := sched.Stats().WAL; st != nil {
+		walStats = *st
+	}
+	shutdown(sched)
+	if err := store.Close(); err != nil {
+		return nil, err
+	}
+
+	// Restart: reopen the log and let the scheduler replay the whole
+	// finished batch into its result cache.
+	start = time.Now()
+	store, err = sim.OpenStore(wal.Options{Dir: dir, Fsync: fsync})
+	if err != nil {
+		return nil, err
+	}
+	reg := telemetry.NewRegistry()
+	sched, err = sim.New(sim.Config{
+		Workers: workers, QueueDepth: jobs, CacheEntries: jobs,
+		Registry: reg, Store: store,
+	}, sim.ScenarioRunner)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	replayWall := time.Since(start)
+	replayed := reg.Counter(telemetry.MSimWalReplayedResultsTotal).Value()
+	shutdown(sched)
+	if err := store.Close(); err != nil {
+		return nil, err
+	}
+
+	return &DurableResult{
+		Fsync:           fsyncName,
+		WallS:           wall.Seconds(),
+		OpsPerSec:       float64(jobs) / wall.Seconds(),
+		OverheadPct:     (wall.Seconds() - memWallS) / memWallS * 100,
+		ReplayWallS:     replayWall.Seconds(),
+		ReplayedResults: replayed,
+		WALAppends:      walStats.Appends,
+		WALFsyncs:       walStats.Fsyncs,
+		WALSizeBytes:    walStats.TotalBytes,
+	}, nil
 }
 
 // chaosSweep builds jobs unique cheap chaos scenarios (a seed sweep —

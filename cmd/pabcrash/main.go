@@ -1,0 +1,328 @@
+// Command pabcrash is the recovery harness for the durable pabd job
+// store (DESIGN.md §14): it proves that kill -9 at arbitrary points in
+// a large batch loses no work and re-runs none.
+//
+// Each round it starts a pabd with a WAL, submits the same ≥500-job
+// batch (submission is idempotent: completed jobs are cache hits,
+// live ones dedupe), sleeps a seeded random interval and SIGKILLs the
+// daemon — optionally appending garbage to the newest WAL segment to
+// simulate a torn final record. The last round lets the batch drain,
+// polls every job to a terminal state and stops the daemon with
+// SIGTERM. Afterwards it audits the WAL record stream directly:
+//
+//   - every job's final record is terminal, exactly once;
+//   - no job has a start record after its done record (completed work
+//     was served from the result store, never re-run);
+//   - a torn final record truncated cleanly instead of failing startup.
+//
+// Usage:
+//
+//	pabcrash -pabd ./pabd                      # 500 jobs, 3 kills
+//	pabcrash -pabd ./pabd -jobs 800 -kills 5 -seed 7
+//	pabcrash -pabd ./pabd -torn=false          # skip tail corruption
+//
+// Exit status 0 means every invariant held.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"syscall"
+	"time"
+
+	"pab/internal/scenario"
+	"pab/internal/sim"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+type harness struct {
+	pabd     string
+	addr     string
+	base     string
+	walDir   string
+	jobs     int
+	kills    int
+	torn     bool
+	workers  int
+	rng      *rand.Rand
+	client   *http.Client
+	specs    []scenario.Spec
+	ids      []string
+	deadline time.Time
+}
+
+func realMain() int {
+	pabd := flag.String("pabd", "", "path to the pabd binary (required)")
+	addr := flag.String("addr", "127.0.0.1:18725", "address the spawned pabd listens on")
+	walDir := flag.String("wal", "", "WAL directory (default: a temp dir, removed on success)")
+	jobs := flag.Int("jobs", 500, "batch size")
+	kills := flag.Int("kills", 3, "number of kill -9 rounds before the clean final round")
+	seed := flag.Int64("seed", 1, "seed for kill timing and tail corruption")
+	torn := flag.Bool("torn", true, "append garbage to the newest WAL segment after each kill")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall harness deadline")
+	workers := flag.Int("workers", 4, "pabd worker pool size")
+	flag.Parse()
+
+	if *pabd == "" {
+		fmt.Fprintln(os.Stderr, "pabcrash: -pabd is required")
+		return 2
+	}
+	dir := *walDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "pabcrash-wal-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pabcrash: %v\n", err)
+			return 1
+		}
+		dir = d
+	}
+
+	h := &harness{
+		pabd:     *pabd,
+		addr:     *addr,
+		base:     "http://" + *addr,
+		walDir:   dir,
+		jobs:     *jobs,
+		kills:    *kills,
+		torn:     *torn,
+		workers:  *workers,
+		rng:      rand.New(rand.NewSource(*seed)),
+		client:   &http.Client{Timeout: 10 * time.Second},
+		deadline: time.Now().Add(*timeout),
+	}
+	h.buildBatch()
+
+	if err := h.run(); err != nil {
+		fmt.Fprintf(os.Stderr, "pabcrash: FAIL: %v (wal kept at %s)\n", err, dir)
+		return 1
+	}
+	if *walDir == "" {
+		os.RemoveAll(dir)
+	}
+	fmt.Println("pabcrash: OK")
+	return 0
+}
+
+// buildBatch precomputes the sweep and its job ids (scenario content
+// hashes), so the audit can name every expected job without trusting
+// the daemon.
+func (h *harness) buildBatch() {
+	h.specs = make([]scenario.Spec, h.jobs)
+	h.ids = make([]string, h.jobs)
+	for i := range h.specs {
+		// DurationS 600 puts one job around a millisecond of wall time,
+		// so a 500-job batch drains in roughly the same window the
+		// seeded kill timer samples — kills land mid-batch, not after.
+		sp := scenario.Spec{
+			Name: fmt.Sprintf("crash[seed=%d]", i+1),
+			Kind: scenario.KindChaos,
+			Seed: int64(i + 1),
+			MAC:  scenario.MACSpec{DurationS: 600},
+		}
+		h.specs[i] = sp
+		id, err := sp.Normalize().Hash()
+		if err != nil {
+			panic(err) // static specs; cannot fail
+		}
+		h.ids[i] = id
+	}
+}
+
+func (h *harness) run() error {
+	for round := 0; round <= h.kills; round++ {
+		final := round == h.kills
+		cmd, err := h.startDaemon()
+		if err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		if err := h.waitHealthy(); err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		// Submitting the full batch every round is the idempotency
+		// test itself: completed jobs must come back as cache hits.
+		// The submit runs concurrently with the kill timer, so a short
+		// delay kills the daemon mid-submission — the hardest case:
+		// some submit records durable, some never sent.
+		submitted := make(chan error, 1)
+		go func() { submitted <- h.submitBatch() }()
+		if !final {
+			delay := time.Duration(h.rng.Intn(150)) * time.Millisecond
+			time.Sleep(delay)
+			if err := cmd.Process.Kill(); err != nil {
+				return fmt.Errorf("round %d: kill: %w", round, err)
+			}
+			cmd.Wait()
+			<-submitted // daemon is gone; a submit error here is expected
+			fmt.Fprintf(os.Stderr, "pabcrash: round %d: killed after %s\n", round, delay)
+			if h.torn {
+				if err := h.tearTail(); err != nil {
+					return fmt.Errorf("round %d: %w", round, err)
+				}
+			}
+			continue
+		}
+		if err := <-submitted; err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return fmt.Errorf("round %d: submit: %w", round, err)
+		}
+		if err := h.drainAll(); err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return fmt.Errorf("final round: %w", err)
+		}
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return fmt.Errorf("final round: sigterm: %w", err)
+		}
+		if err := cmd.Wait(); err != nil {
+			return fmt.Errorf("final round: pabd exit: %w", err)
+		}
+	}
+	return h.audit()
+}
+
+// startDaemon launches pabd over the shared WAL with capacity for the
+// whole batch (cache and queue must exceed the job count, or LRU
+// eviction would legitimately re-run completed work and break the
+// no-re-run audit).
+func (h *harness) startDaemon() (*exec.Cmd, error) {
+	cmd := exec.Command(h.pabd,
+		"-addr", h.addr,
+		"-wal", h.walDir,
+		"-workers", strconv.Itoa(h.workers),
+		"-queue", strconv.Itoa(h.jobs+16),
+		"-cache", strconv.Itoa(h.jobs+16),
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start pabd: %w", err)
+	}
+	return cmd, nil
+}
+
+func (h *harness) waitHealthy() error {
+	for time.Now().Before(h.deadline) {
+		resp, err := h.client.Get(h.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("pabd never became healthy on %s", h.addr)
+}
+
+func (h *harness) submitBatch() error {
+	body, err := json.Marshal(map[string]any{"specs": h.specs})
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Post(h.base+"/v1/batches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := json.Marshal(resp.Status)
+		return fmt.Errorf("batch submit: %s %s", resp.Status, b)
+	}
+	return nil
+}
+
+// drainAll polls every job to a terminal state; all must be done.
+func (h *harness) drainAll() error {
+	states := make(map[string]int)
+	for _, id := range h.ids {
+		for {
+			if time.Now().After(h.deadline) {
+				return fmt.Errorf("deadline waiting for job %s (states so far: %v)", id[:12], states)
+			}
+			var view struct {
+				State string `json:"state"`
+				Error string `json:"error"`
+			}
+			resp, err := h.client.Get(h.base + "/v1/jobs/" + id)
+			if err != nil {
+				return err
+			}
+			dec := json.NewDecoder(resp.Body)
+			err = dec.Decode(&view)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode == http.StatusNotFound {
+				return fmt.Errorf("job %s unknown to the daemon after restart", id[:12])
+			}
+			switch view.State {
+			case "done":
+				states[view.State]++
+			case "failed", "canceled":
+				return fmt.Errorf("job %s terminal as %s (%s), want done", id[:12], view.State, view.Error)
+			default:
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			break
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pabcrash: all %d jobs terminal: %v\n", len(h.ids), states)
+	return nil
+}
+
+// tearTail appends a partial record header to the newest WAL segment —
+// the on-disk shape of a write torn by the kill. The next daemon start
+// must truncate it rather than fail.
+func (h *harness) tearTail() error {
+	paths, err := filepath.Glob(filepath.Join(h.walDir, "wal-*.log"))
+	if err != nil || len(paths) == 0 {
+		return fmt.Errorf("no wal segments to tear: %v", err)
+	}
+	sort.Strings(paths)
+	newest := paths[len(paths)-1]
+	f, err := os.OpenFile(newest, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	garbage := make([]byte, 1+h.rng.Intn(7)) // shorter than a record header
+	h.rng.Read(garbage)
+	_, err = f.Write(garbage)
+	return err
+}
+
+// audit replays the WAL record stream and enforces exactly-once.
+func (h *harness) audit() error {
+	rep, err := sim.AuditWAL(h.walDir)
+	if err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "pabcrash: audit: %d records, %d jobs (%d done, %d failed, %d canceled, %d pending)\n",
+		rep.Records, rep.Jobs, rep.Done, rep.Failed, rep.Canceled, rep.Pending)
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("audit violations: %v", rep.Violations)
+	}
+	if rep.Done != h.jobs {
+		return fmt.Errorf("audit: %d done jobs in WAL, want %d", rep.Done, h.jobs)
+	}
+	if rep.Pending != 0 {
+		return fmt.Errorf("audit: %d jobs never reached a terminal state", rep.Pending)
+	}
+	return nil
+}

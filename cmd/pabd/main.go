@@ -9,6 +9,9 @@
 //	pabd -addr :8080 -workers 4         # fixed worker pool
 //	pabd -queue 128 -cache 512          # queue depth, cache entries
 //	pabd -job-timeout 90s               # per-job deadline
+//	pabd -wal /var/lib/pabd/wal         # durable job store (crash recovery)
+//	pabd -wal wal -wal-fsync always     # power-loss-safe durability tier
+//	pabd -retries 3                     # bounded retry budget per job
 //
 // API (see DESIGN.md §12):
 //
@@ -27,6 +30,13 @@
 // deduplicate in flight and hit the result cache afterwards. A full
 // queue answers 429 with a Retry-After estimate; SIGTERM stops intake,
 // drains in-flight jobs for -drain-timeout, then exits.
+//
+// With -wal the job lifecycle is durable (DESIGN.md §14): every state
+// transition appends to a checksummed write-ahead log before taking
+// effect, a restarted daemon replays the log — completed jobs come
+// back as cache hits, unfinished ones re-enqueue — and -retries
+// bounds re-execution of retryably-failed jobs with exponential
+// backoff before they land on GET /v1/deadletter.
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 
 	"pab/internal/cli"
 	"pab/internal/sim"
+	"pab/internal/wal"
 )
 
 func main() {
@@ -55,6 +66,14 @@ func realMain() int {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long shutdown waits for in-flight jobs before cancelling them")
+	walDir := flag.String("wal", "", "write-ahead-log directory for the durable job store (empty = memory-only)")
+	walFsync := flag.String("wal-fsync", "interval", "WAL fsync policy: always, interval or never")
+	walSegment := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default 4 MiB)")
+	walCompact := flag.Int64("wal-compact-bytes", 0, "WAL size that triggers compaction (0 = default 8 MiB)")
+	retries := flag.Int("retries", 3, "per-job attempt budget for retryable failures (1 = no retries)")
+	retryBase := flag.Duration("retry-base", 0, "base retry backoff (0 = default 500ms)")
+	shedHW := flag.Float64("shed-high-water", 0,
+		"queue fraction past which higher-priority work sheds the lowest-priority queued job (0 = default 0.9, negative disables)")
 	var tf cli.TelemetryFlags
 	tf.Register()
 	var rf cli.RunFlags
@@ -63,6 +82,11 @@ func realMain() int {
 
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "pabd: unexpected arguments: %v\n", flag.Args())
+		return cli.Usage()
+	}
+	fsync, err := wal.ParseFsyncPolicy(*walFsync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pabd: %v\n", err)
 		return cli.Usage()
 	}
 	if code := tf.Start("pabd"); code != cli.ExitOK {
@@ -74,11 +98,17 @@ func realMain() int {
 	code := cli.Exit("pabd", serve(ctx, serveConfig{
 		addr: *addr,
 		sched: sim.Config{
-			Workers:      *workers,
-			QueueDepth:   *queue,
-			CacheEntries: *cache,
-			JobTimeout:   *jobTimeout,
+			Workers:       *workers,
+			QueueDepth:    *queue,
+			CacheEntries:  *cache,
+			JobTimeout:    *jobTimeout,
+			Retry:         sim.RetryPolicy{MaxAttempts: *retries, BaseBackoff: *retryBase},
+			ShedHighWater: *shedHW,
+			CompactBytes:  *walCompact,
 		},
+		walDir:       *walDir,
+		walFsync:     fsync,
+		walSegment:   *walSegment,
 		drainTimeout: *drainTimeout,
 	}))
 	return tf.Finish("pabd", code)
@@ -87,6 +117,9 @@ func realMain() int {
 type serveConfig struct {
 	addr         string
 	sched        sim.Config
+	walDir       string
+	walFsync     wal.FsyncPolicy
+	walSegment   int64
 	drainTimeout time.Duration
 }
 
@@ -95,9 +128,27 @@ type serveConfig struct {
 // jobs arrive, queued jobs are cancelled, and in-flight jobs get
 // drainTimeout to finish.
 func serve(ctx context.Context, cfg serveConfig) error {
+	if cfg.walDir != "" {
+		store, err := sim.OpenStore(wal.Options{
+			Dir:          cfg.walDir,
+			SegmentBytes: cfg.walSegment,
+			Fsync:        cfg.walFsync,
+			Registry:     cfg.sched.Registry,
+		})
+		if err != nil {
+			return fmt.Errorf("pabd: open wal: %w", err)
+		}
+		defer store.Close()
+		cfg.sched.Store = store
+	}
 	sched, err := sim.New(cfg.sched, sim.ScenarioRunner)
 	if err != nil {
 		return err
+	}
+	if cfg.walDir != "" {
+		st := sched.Stats()
+		fmt.Fprintf(os.Stderr, "pabd: wal replay: %d queued, %d cached results, %d dead letters\n",
+			st.Queued, st.CacheSize, st.DeadLetters)
 	}
 	srv := &http.Server{
 		Addr:    cfg.addr,

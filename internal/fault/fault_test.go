@@ -192,3 +192,56 @@ func TestCountsFixedOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestRestartProfileRebootsAndRejoins: the restart profile's whole
+// point is that outages are temporary — every node that drops comes
+// back, nothing stays dead, and the power cuts truncate frames.
+func TestRestartProfileRebootsAndRejoins(t *testing.T) {
+	p, err := ByName("restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DeadNodes != 0 {
+		t.Fatalf("restart profile kills %d nodes permanently, want 0", p.DeadNodes)
+	}
+	const horizon = 300.0
+	nodes := []byte{1, 2, 3}
+	e, err := NewEngine(p, 7, horizon, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outages, rejoins := 0, 0
+	for _, addr := range nodes {
+		off := false
+		for ts := 0.0; ts < horizon; ts += 0.1 {
+			now := e.NodeOff(addr, ts)
+			if now && !off {
+				outages++
+			}
+			if !now && off {
+				rejoins++ // back on after an outage: the reboot completed
+			}
+			off = now
+		}
+	}
+	if outages == 0 {
+		t.Error("no node ever dropped; the restart profile injected nothing")
+	}
+	// Every outage except possibly one per node straddling the horizon
+	// must end in a rejoin — nodes reboot, they don't die.
+	if rejoins < outages-len(nodes) || rejoins == 0 {
+		t.Errorf("%d outages but only %d rejoins — outages must be temporary", outages, rejoins)
+	}
+	truncs := 0
+	for ts := 0.0; ts < horizon; ts += 0.1 {
+		if frac, ok := e.TruncationAt(ts); ok {
+			if frac <= 0 || frac >= 1 {
+				t.Fatalf("truncation keeps fraction %g, want (0, 1)", frac)
+			}
+			truncs++
+		}
+	}
+	if truncs == 0 {
+		t.Error("no truncation window ever active")
+	}
+}

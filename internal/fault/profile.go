@@ -61,6 +61,14 @@ var profiles = map[string]Profile{
 		Brownout:  &Brownouts{EveryS: 25, RecoverS: 10},
 		DeadNodes: 1,
 	},
+	"restart": {
+		Name: "restart",
+		Description: "frequent short reboot cycles: nodes drop mid-exchange and " +
+			"rejoin after a brief recharge, with frames truncated by the power " +
+			"cut — the crash-recovery stress (no node stays dead)",
+		Brownout:   &Brownouts{EveryS: 20, RecoverS: 8},
+		Truncation: &Truncation{EveryS: 20, DurS: 4},
+	},
 	"drift": {
 		Name: "drift",
 		Description: "node clock drift plus frame truncation — timing pathology " +

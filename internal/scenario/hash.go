@@ -47,3 +47,25 @@ func (s Spec) Hash() (string, error) {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil
 }
+
+// Decode parses a spec from its JSON serialization, normalizes and
+// validates it, and returns it with its canonical hash — the inverse
+// of persisting a spec (the WAL job store round-trips specs through
+// this on replay, and re-deriving the hash rather than trusting a
+// stored one means a record whose spec no longer matches its id is
+// caught instead of silently re-keyed).
+func Decode(b []byte) (Spec, string, error) {
+	var s Spec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Spec{}, "", fmt.Errorf("scenario: decode: %w", err)
+	}
+	s = s.Normalize()
+	if err := s.Validate(); err != nil {
+		return Spec{}, "", err
+	}
+	id, err := s.Hash()
+	if err != nil {
+		return Spec{}, "", err
+	}
+	return s, id, nil
+}

@@ -269,3 +269,49 @@ func TestRunRejectsTunedBatteryCombo(t *testing.T) {
 		t.Fatal("want error for tuned_hz + battery_j")
 	}
 }
+
+// TestDecodeRoundTrip: Decode is the WAL-replay entry point — it must
+// reproduce exactly the id the scheduler computed at submit time, and
+// refuse payloads that would replay into an invalid job.
+func TestDecodeRoundTrip(t *testing.T) {
+	sp := Spec{Kind: KindChaos, Seed: 42, MAC: MACSpec{DurationS: 5}}
+	norm := sp.Normalize()
+	want, err := norm.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode from the raw (un-normalized) encoding, the shape a WAL
+	// submit record stores.
+	raw, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, id, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != want {
+		t.Errorf("Decode id = %s, want %s", id, want)
+	}
+	if got.Version != norm.Version || got.Kind != norm.Kind || got.Seed != norm.Seed {
+		t.Errorf("Decode spec = %+v, want normalized %+v", got, norm)
+	}
+
+	// Field order must not matter: the id is content-addressed.
+	reordered := []byte(`{"seed":42,"mac":{"duration_s":5},"kind":"chaos"}`)
+	if _, id2, err := Decode(reordered); err != nil || id2 != want {
+		t.Errorf("reordered Decode = (%s, %v), want (%s, nil)", id2, err, want)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	for name, raw := range map[string]string{
+		"garbage":      `{not json`,
+		"bad kind":     `{"kind":"quantum"}`,
+		"bad duration": `{"kind":"chaos","mac":{"duration_s":-3}}`,
+	} {
+		if _, _, err := Decode([]byte(raw)); err == nil {
+			t.Errorf("Decode(%s) accepted %q", name, raw)
+		}
+	}
+}

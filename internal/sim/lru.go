@@ -58,6 +58,17 @@ func (l *lru) add(key string, e cacheEntry) (evicted bool) {
 
 func (l *lru) len() int { return l.order.Len() }
 
+// entries returns every cached entry, least-recently-used first — the
+// order WAL compaction writes them, so a replayed cache evicts in the
+// same order the live one would have.
+func (l *lru) entries() []cacheEntry {
+	out := make([]cacheEntry, 0, l.order.Len())
+	for el := l.order.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*lruItem).e)
+	}
+	return out
+}
+
 // history is a bounded FIFO of terminal-but-uncached job views
 // (failures and cancellations), so status queries keep answering for
 // a while after the job is gone.

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pab/internal/scenario"
+)
+
+// These tests exist to run under -race: the lru and history stores are
+// not self-locking (the Scheduler's mutex guards them), so every
+// access path — submit dedupe, cache hit, eviction, result fetch,
+// stats — is hammered concurrently through the public API while the
+// cache is small enough that eviction churns constantly.
+
+// TestCacheConcurrentChurn: many submitters race over a spec space
+// much larger than the cache, so adds, refreshes and evictions
+// interleave with hits and misses from every goroutine at once.
+func TestCacheConcurrentChurn(t *testing.T) {
+	s, _ := newTestScheduler(t, Config{
+		Workers: 4, QueueDepth: 256, CacheEntries: 4,
+	}, instantRunner)
+
+	const goroutines = 8
+	const perG = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// 16 distinct specs over a 4-entry cache: constant eviction.
+				seed := int64(1 + (g*perG+i)%16)
+				view, err := s.Submit(chaosSpec(seed), 0)
+				if err != nil {
+					t.Errorf("submit seed %d: %v", seed, err)
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				final, err := s.Wait(ctx, view.ID)
+				cancel()
+				if err != nil {
+					// A done job's view lives only in the cache; under
+					// this much churn eviction can beat the Wait. That is
+					// the documented aging-out behavior, not a failure.
+					if errors.Is(err, ErrUnknownJob) {
+						continue
+					}
+					t.Errorf("wait %s: %v", view.ID, err)
+					return
+				}
+				if final.State != JobDone {
+					t.Errorf("seed %d finished %s", seed, final.State)
+					return
+				}
+				// Result may have been evicted already; either answer is
+				// fine, it just must not race.
+				s.Result(view.ID)
+				s.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestInFlightDedupeRacingEviction: the in-flight dedupe map and the
+// result cache hand jobs back and forth — a spec leaves the jobs map
+// the instant its result enters the cache, and eviction can drop that
+// result before a duplicate submit arrives. Duplicates of a blocked
+// job must coalesce onto the live entry no matter how hard the cache
+// is churning underneath.
+func TestInFlightDedupeRacingEviction(t *testing.T) {
+	var runs atomic.Int64
+	release := make(chan struct{})
+	run := func(ctx context.Context, sp scenario.Spec) (json.RawMessage, error) {
+		if sp.Seed == 1 {
+			runs.Add(1)
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return json.RawMessage(fmt.Sprintf(`{"seed":%d}`, sp.Seed)), nil
+	}
+	s, _ := newTestScheduler(t, Config{
+		Workers: 3, QueueDepth: 256, CacheEntries: 2,
+	}, run)
+
+	// Park seed 1 in a worker.
+	pinned, err := s.Submit(chaosSpec(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBusy(t, s, 1)
+
+	var wg sync.WaitGroup
+	// Half the goroutines resubmit the in-flight spec; the other half
+	// churn the 2-entry cache with fresh specs that evict each other.
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if g%2 == 0 {
+					view, err := s.Submit(chaosSpec(1), 0)
+					if err != nil {
+						t.Errorf("dup submit: %v", err)
+						return
+					}
+					if view.ID != pinned.ID {
+						t.Errorf("duplicate got id %s, want %s", view.ID, pinned.ID)
+						return
+					}
+				} else {
+					seed := int64(100 + g*1000 + i)
+					view, err := s.Submit(chaosSpec(seed), 0)
+					if err != nil {
+						t.Errorf("churn submit: %v", err)
+						return
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					_, err = s.Wait(ctx, view.ID)
+					cancel()
+					if err != nil && !errors.Is(err, ErrUnknownJob) {
+						t.Errorf("churn wait: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	close(release)
+	if v := waitTerminal(t, s, pinned.ID); v.State != JobDone {
+		t.Fatalf("pinned job finished %s", v.State)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Errorf("blocked spec ran %d times, want 1 — dedupe lost the race to eviction", n)
+	}
+}
+
+// TestCacheRefreshRacingStats: get() moves entries to the front of the
+// recency list while Stats and eviction walk it — a classic iterator
+// invalidation shape if the locking ever regresses.
+func TestCacheRefreshRacingStats(t *testing.T) {
+	s, _ := newTestScheduler(t, Config{
+		Workers: 2, QueueDepth: 64, CacheEntries: 3,
+	}, instantRunner)
+
+	// Warm three entries.
+	ids := make([]string, 3)
+	for i := range ids {
+		v, err := s.Submit(chaosSpec(int64(i+1)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = waitTerminal(t, s, v.ID).ID
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // refresher: cache hits reorder the LRU list
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, id := range ids {
+				s.Result(id)
+				s.Job(id)
+			}
+		}
+	}()
+	go func() { // evictor: new entries push old ones out
+		defer wg.Done()
+		for seed := int64(1000); ; seed++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			v, err := s.Submit(chaosSpec(seed), 0)
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_, err = s.Wait(ctx, v.ID)
+			cancel()
+			if err != nil && !errors.Is(err, ErrUnknownJob) {
+				t.Errorf("wait: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // reader: snapshots while both of the above churn
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			st := s.Stats()
+			if st.CacheSize > 3 {
+				t.Errorf("cache grew past capacity: %d", st.CacheSize)
+				return
+			}
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(done)
+	wg.Wait()
+}

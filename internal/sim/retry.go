@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// FailureClass types why a job failed, deciding whether it is worth
+// retrying. The class is persisted in the WAL failure record and
+// surfaced in JobView.Class and the dead-letter list, so operators can
+// distinguish "the spec is broken" from "the daemon was overloaded".
+type FailureClass string
+
+// Failure classes.
+const (
+	// FailTimeout: the per-job deadline fired. Retryable — the run may
+	// succeed on a less loaded pool.
+	FailTimeout FailureClass = "timeout"
+	// FailCanceled: the job was canceled (client or shutdown). Not
+	// retryable — cancellation is an instruction, not a fault.
+	FailCanceled FailureClass = "canceled"
+	// FailShed: admission control evicted the job to make room for
+	// higher-priority work. Terminal here; the client owns resubmission.
+	FailShed FailureClass = "shed"
+	// FailRuntime: the runner returned an error. Retryable — transient
+	// resource errors look identical to deterministic spec errors from
+	// here, and the bounded attempt budget caps the waste when the
+	// failure is deterministic.
+	FailRuntime FailureClass = "runtime"
+)
+
+// Retryable reports whether jobs failing with this class re-enter the
+// queue (budget permitting).
+func (c FailureClass) Retryable() bool {
+	return c == FailTimeout || c == FailRuntime
+}
+
+// Classify maps a runner error onto a failure class.
+func Classify(err error) FailureClass {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return FailTimeout
+	case errors.Is(err, context.Canceled):
+		return FailCanceled
+	default:
+		return FailRuntime
+	}
+}
+
+// RetryPolicy bounds re-execution of retryably-failed jobs:
+// exponential backoff with jitter between attempts, and a per-job
+// attempt budget after which the job dead-letters. The zero value
+// disables retries (MaxAttempts 1), preserving the fail-fast behavior
+// embedded code and tests rely on; pabd opts in via -retries.
+type RetryPolicy struct {
+	// MaxAttempts is the per-job budget including the first run; 0
+	// selects 1 (no retries).
+	MaxAttempts int
+	// BaseBackoff is the delay after the first failure; 0 selects 500 ms.
+	BaseBackoff time.Duration
+	// MaxBackoff clamps the exponential growth; 0 selects 30 s.
+	MaxBackoff time.Duration
+	// JitterFrac spreads each delay uniformly over ±frac of itself so
+	// retries from a burst of failures don't re-collide; 0 selects 0.2.
+	JitterFrac float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 500 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 30 * time.Second
+	}
+	if p.JitterFrac <= 0 {
+		p.JitterFrac = 0.2
+	}
+	if p.JitterFrac > 1 {
+		p.JitterFrac = 1
+	}
+	return p
+}
+
+// Backoff returns the delay before the attempt following failed
+// attempt number `attempt` (1-based): Base·2^(attempt−1), clamped to
+// MaxBackoff, then jittered by ±JitterFrac from rng.
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if rng != nil && p.JitterFrac > 0 {
+		// Uniform in [1-frac, 1+frac).
+		scale := 1 + p.JitterFrac*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * scale)
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}

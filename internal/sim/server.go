@@ -22,6 +22,7 @@ import (
 //	POST   /v1/batches               submit {specs: [...]} or {sweep: {base, axes}}
 //	GET    /v1/batches/{id}          batch summary (states + per-job headline)
 //	GET    /v1/batches/{id}/stream   NDJSON: one result line per job as it finishes
+//	GET    /v1/deadletter            terminal failures (budget exhausted, shed)
 //	GET    /metrics, /telemetry.json, /debug/*  the telemetry registry
 //
 // A full queue answers 429 with a Retry-After estimated from the
@@ -48,6 +49,7 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batches", sv.handleBatchSubmit)
 	mux.HandleFunc("GET /v1/batches/{id}", sv.handleBatch)
 	mux.HandleFunc("GET /v1/batches/{id}/stream", sv.handleBatchStream)
+	mux.HandleFunc("GET /v1/deadletter", sv.handleDeadLetter)
 	th := sv.sched.reg.Handler()
 	mux.Handle("/metrics", th)
 	mux.Handle("/telemetry.json", th)
@@ -260,8 +262,16 @@ func (sv *Server) handleBatchStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleDeadLetter serves the terminal-failure list: jobs whose retry
+// budget ran out, failed non-retryably, or were shed.
+func (sv *Server) handleDeadLetter(w http.ResponseWriter, _ *http.Request) {
+	dead := sv.sched.DeadLetters()
+	writeJSON(w, http.StatusOK, map[string]any{"total": len(dead), "jobs": dead})
+}
+
 // writeSubmitError maps scheduler flow-control errors onto HTTP: 429
-// with Retry-After for a full queue, 503 during drain, 400 otherwise.
+// with Retry-After for a full queue, 503 during drain or when the WAL
+// cannot accept the record, 400 otherwise.
 func (sv *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
@@ -271,7 +281,7 @@ func (sv *Server) writeSubmitError(w http.ResponseWriter, err error) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
-	case errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrDurability):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
 	default:
 		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})

@@ -139,6 +139,68 @@ func TestServerBackpressure(t *testing.T) {
 	close(g.release)
 }
 
+// TestServerRetryAfterColdStart: a scheduler that has never finished a
+// job has no duration EWMA to estimate from, but Retry-After must
+// still be a sane positive hint — the floor is one second, never zero
+// (a zero would make cold-start clients hammer a full queue).
+func TestServerRetryAfterColdStart(t *testing.T) {
+	g := newGate()
+	ts, sched := newTestServer(t, Config{Workers: 1, QueueDepth: 1}, g.run)
+	defer close(g.release)
+
+	if ra := sched.RetryAfter(); ra < time.Second {
+		t.Fatalf("cold-start RetryAfter() = %v, want >= 1s", ra)
+	}
+
+	// Fill the pipeline before any job completes: one running, one
+	// queued, third rejected. The EWMA is still zero at this point.
+	postJSON(t, ts.URL+"/v1/jobs", `{"kind":"chaos","seed":1,"mac":{"duration_s":5}}`)
+	waitBusy(t, sched, 1)
+	postJSON(t, ts.URL+"/v1/jobs", `{"kind":"chaos","seed":2,"mac":{"duration_s":5}}`)
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", `{"kind":"chaos","seed":3,"mac":{"duration_s":5}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, body %s; want 429", resp.StatusCode, body)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Errorf("cold-start Retry-After header = %q, want integer >= 1",
+			resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestServerDeadLetter: exhausted retry budgets surface on the
+// dead-letter route with their failure class.
+func TestServerDeadLetter(t *testing.T) {
+	boom := func(context.Context, scenario.Spec) (json.RawMessage, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	ts, sched := newTestServer(t, Config{Workers: 1,
+		Retry: RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}}, boom)
+
+	_, body := postJSON(t, ts.URL+"/v1/jobs", `{"kind":"chaos","seed":1,"mac":{"duration_s":5}}`)
+	var view JobView
+	json.Unmarshal(body, &view)
+	waitTerminal(t, sched, view.ID)
+
+	resp, body := getJSON(t, ts.URL+"/v1/deadletter")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deadletter status = %d", resp.StatusCode)
+	}
+	var dl struct {
+		Total int       `json:"total"`
+		Jobs  []JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &dl); err != nil {
+		t.Fatal(err)
+	}
+	if dl.Total != 1 || len(dl.Jobs) != 1 {
+		t.Fatalf("deadletter = %s", body)
+	}
+	if dl.Jobs[0].ID != view.ID || dl.Jobs[0].Class != string(FailRuntime) || dl.Jobs[0].Attempt != 2 {
+		t.Errorf("dead job = %+v, want id %s class %s attempt 2", dl.Jobs[0], view.ID, FailRuntime)
+	}
+}
+
 // TestServerResultNotReady: asking for a running job's result is a
 // 409, not an empty 200.
 func TestServerResultNotReady(t *testing.T) {

@@ -8,7 +8,16 @@
 // Flow control is explicit: a full queue rejects with ErrQueueFull
 // (the HTTP layer maps it to 429 + Retry-After) rather than queueing
 // unboundedly, and Shutdown stops intake, cancels queued jobs and
-// drains in-flight ones — the SIGTERM path.
+// drains in-flight ones — the SIGTERM path. Past a configurable
+// high-water mark a second tier kicks in: an incoming job that
+// outranks the lowest-priority queued job sheds it instead of being
+// rejected, so urgent work still lands under pressure.
+//
+// With a Store configured (store.go, over internal/wal), the lifecycle
+// is durable: every transition is logged before it takes effect, a
+// restarted scheduler replays the log — completed jobs repopulate the
+// result cache, unfinished ones re-enqueue — and retryably-failed jobs
+// re-run under a bounded backoff budget before dead-lettering.
 package sim
 
 import (
@@ -19,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -26,6 +36,7 @@ import (
 	"pab/internal/prof"
 	"pab/internal/scenario"
 	"pab/internal/telemetry"
+	"pab/internal/wal"
 )
 
 // Runner executes one scenario and returns its result as JSON. The
@@ -48,6 +59,7 @@ type JobState string
 const (
 	JobQueued   JobState = "queued"
 	JobRunning  JobState = "running"
+	JobRetrying JobState = "retrying" // failed retryably; waiting out backoff
 	JobDone     JobState = "done"
 	JobFailed   JobState = "failed"
 	JobCanceled JobState = "canceled"
@@ -68,6 +80,12 @@ type JobView struct {
 	Cached   bool     `json:"cached"`
 	Priority int      `json:"priority"`
 	Error    string   `json:"error,omitempty"`
+	// Attempt is 1 for the first run and increments per retry.
+	Attempt int `json:"attempt,omitempty"`
+	// Class types the most recent failure (see FailureClass).
+	Class string `json:"failure_class,omitempty"`
+	// NextRetryAt is set while the job waits out a retry backoff.
+	NextRetryAt *time.Time `json:"next_retry_at,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -79,13 +97,14 @@ type JobView struct {
 
 // job is the scheduler's mutable record.
 type job struct {
-	view   JobView
-	spec   scenario.Spec
-	seq    uint64
-	pos    int // heap index, -1 once popped/removed
-	cancel context.CancelFunc
-	done   chan struct{}
-	result json.RawMessage
+	view       JobView
+	spec       scenario.Spec
+	seq        uint64
+	pos        int // heap index, -1 once popped/removed
+	cancel     context.CancelFunc
+	done       chan struct{}
+	result     json.RawMessage
+	retryTimer *time.Timer // live while State == JobRetrying
 }
 
 // Errors the scheduler returns for flow control.
@@ -98,6 +117,14 @@ var (
 	// ErrUnknownJob reports a lookup of an ID never submitted (or aged
 	// out of the failure history).
 	ErrUnknownJob = errors.New("sim: unknown job")
+	// ErrDurability reports that the WAL rejected the state transition;
+	// the submission was not accepted (the HTTP layer maps it to 503 —
+	// accepting work we cannot make durable would break the recovery
+	// contract).
+	ErrDurability = errors.New("sim: durability failure")
+	// errShed is the terminal error of a job evicted by the shedding
+	// tier of admission control.
+	errShed = errors.New("sim: shed by admission control (queue past high-water mark)")
 )
 
 // Config tunes a Scheduler.
@@ -114,6 +141,25 @@ type Config struct {
 	// Registry receives queue/cache/latency telemetry; nil selects
 	// telemetry.Default().
 	Registry *telemetry.Registry
+
+	// Store persists job state transitions for crash recovery; nil
+	// keeps the scheduler memory-only (the pre-durability behavior).
+	Store *Store
+	// Retry bounds re-execution of retryably-failed jobs. The zero
+	// value disables retries (MaxAttempts 1).
+	Retry RetryPolicy
+	// ShedHighWater is the fraction of QueueDepth past which an
+	// incoming submission that outranks the lowest-priority queued job
+	// sheds it instead of being rejected; 0 selects 0.9, negative
+	// disables shedding.
+	ShedHighWater float64
+	// CompactBytes is the WAL size past which a terminal transition
+	// triggers a compaction snapshot; 0 selects 8 MiB. Only meaningful
+	// with Store.
+	CompactBytes int64
+	// RetrySeed seeds retry-backoff jitter; 0 selects 1 (deterministic
+	// by default, like every other seed in the tree).
+	RetrySeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +177,16 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default()
+	}
+	c.Retry = c.Retry.withDefaults()
+	if c.ShedHighWater == 0 {
+		c.ShedHighWater = 0.9
+	}
+	if c.CompactBytes <= 0 {
+		c.CompactBytes = 8 << 20
+	}
+	if c.RetrySeed == 0 {
+		c.RetrySeed = 1
 	}
 	return c
 }
@@ -153,6 +209,20 @@ type Scheduler struct {
 	closed  bool
 	busy    int
 
+	store *Store
+	retry RetryPolicy
+	rng   *rand.Rand // retry-backoff jitter; guarded by mu
+	// dead is the bounded dead-letter list: jobs that exhausted their
+	// attempt budget, failed non-retryably or were shed. Exposed over
+	// GET /v1/deadletter.
+	dead []JobView
+	// shedHW is the queue length at which the shedding tier arms.
+	shedHW int
+	// compactAt is the WAL size that triggers the next compaction; it
+	// doubles past the configured floor after each compaction so a log
+	// whose live state is genuinely large doesn't thrash.
+	compactAt int64
+
 	// avgRunS is an EWMA of job run seconds, feeding Retry-After.
 	avgRunS float64
 
@@ -167,7 +237,10 @@ type Scheduler struct {
 	wg         sync.WaitGroup
 }
 
-// New builds a Scheduler and starts its worker pool.
+// New builds a Scheduler and starts its worker pool. With a Store
+// configured it first replays the WAL: completed jobs prime the result
+// cache, unfinished ones re-enqueue (bypassing QueueDepth — they were
+// already admitted before the crash).
 func New(cfg Config, run Runner) (*Scheduler, error) {
 	if run == nil {
 		return nil, fmt.Errorf("sim: nil runner")
@@ -182,16 +255,84 @@ func New(cfg Config, run Runner) (*Scheduler, error) {
 		cache:      newLRU(cfg.CacheEntries),
 		recent:     newHistory(512),
 		batches:    newBatchStore(128),
+		store:      cfg.Store,
+		retry:      cfg.Retry,
+		rng:        rand.New(rand.NewSource(cfg.RetrySeed)),
+		compactAt:  cfg.CompactBytes,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	s.shedHW = int(cfg.ShedHighWater * float64(cfg.QueueDepth))
+	if cfg.ShedHighWater < 0 {
+		s.shedHW = cfg.QueueDepth + 1 // unreachable: shedding disabled
+	} else if s.shedHW < 1 {
+		s.shedHW = 1
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.reg.PublishExtra("sim_slowest_jobs", func() any { return s.SlowestJobs() })
+	if s.store != nil {
+		if err := s.replayStore(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// replayStore folds the WAL back into scheduler state before the
+// worker pool starts: done → cache (a later submit of the same spec is
+// a replay hit, not a re-run), failed → dead-letter + history,
+// canceled → history, everything else → re-enqueued with its attempt
+// count preserved.
+func (s *Scheduler) replayStore() error {
+	sp := s.reg.StartSpan("sim_wal_replay")
+	defer sp.End()
+	rs, err := s.store.Replay()
+	if err != nil {
+		return fmt.Errorf("sim: wal replay: %w", err)
+	}
+	sp.Attr("records", rs.Records).Attr("pending", len(rs.Pending)).
+		Attr("done", len(rs.Done)).Attr("dead", len(rs.Dead))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range rs.Done {
+		s.cache.add(d.View.ID, cacheEntry{view: d.View, result: d.Result})
+		s.reg.Inc(telemetry.MSimWalReplayedResultsTotal)
+	}
+	for _, v := range rs.Dead {
+		s.recent.put(v)
+		s.deadLetterLocked(v)
+	}
+	for _, v := range rs.Canceled {
+		s.recent.put(v)
+	}
+	for _, p := range rs.Pending {
+		s.seq++
+		j := &job{
+			view: JobView{
+				ID:          p.ID,
+				Name:        p.Spec.Name,
+				Kind:        p.Spec.Kind,
+				State:       JobQueued,
+				Priority:    p.Priority,
+				Attempt:     p.Attempt,
+				SubmittedAt: time.Now(),
+			},
+			spec: p.Spec,
+			seq:  s.seq,
+			done: make(chan struct{}),
+		}
+		s.jobs[p.ID] = j
+		heap.Push(&s.queue, j)
+		s.reg.Inc(telemetry.MSimWalReplayedJobsTotal)
+	}
+	s.reg.Set(telemetry.MSimQueueDepth, float64(s.queue.Len()))
+	return nil
 }
 
 // slowestJobsKept bounds the worst-N slowest-jobs table.
@@ -269,9 +410,28 @@ func (s *Scheduler) submitLocked(sp scenario.Spec, id string, priority int) (Job
 		return j.view, nil
 	}
 	s.reg.Inc(telemetry.MSimCacheMissesTotal)
+	// Shedding tier: past the high-water mark, an incoming job that
+	// strictly outranks the lowest-priority queued job evicts it rather
+	// than bouncing off the depth limit — urgent work lands even under
+	// sustained pressure, and the shed job dead-letters for the client
+	// to see.
+	if s.queue.Len() >= s.shedHW {
+		if victim := s.queue.lowest(); victim != nil && priority > victim.view.Priority {
+			s.shedLocked(victim)
+		}
+	}
 	if s.queue.Len() >= s.cfg.QueueDepth {
 		s.reg.Inc(telemetry.MSimJobsRejectedTotal)
 		return JobView{}, ErrQueueFull
+	}
+	// The WAL write comes first: a job is only accepted once its submit
+	// record is durable, so a crash can lose at most work we had not
+	// yet acknowledged.
+	if s.store != nil {
+		if err := s.store.LogSubmit(id, sp, priority, 1); err != nil {
+			s.reg.Inc(telemetry.MSimWalAppendErrorsTotal)
+			return JobView{}, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
 	}
 	s.seq++
 	j := &job{
@@ -281,6 +441,7 @@ func (s *Scheduler) submitLocked(sp scenario.Spec, id string, priority int) (Job
 			Kind:        sp.Kind,
 			State:       JobQueued,
 			Priority:    priority,
+			Attempt:     1,
 			SubmittedAt: time.Now(),
 		},
 		spec: sp,
@@ -336,8 +497,16 @@ func (s *Scheduler) Cancel(id string) bool {
 	switch j.view.State {
 	case JobQueued:
 		s.queue.remove(j)
-		s.finalizeLocked(j, JobCanceled, nil, context.Canceled)
+		s.finalizeLocked(j, JobCanceled, FailCanceled, nil, context.Canceled)
 		s.reg.Set(telemetry.MSimQueueDepth, float64(s.queue.Len()))
+		s.mu.Unlock()
+		return true
+	case JobRetrying:
+		if j.retryTimer != nil {
+			j.retryTimer.Stop()
+			j.retryTimer = nil
+		}
+		s.finalizeLocked(j, JobCanceled, FailCanceled, nil, context.Canceled)
 		s.mu.Unlock()
 		return true
 	case JobRunning:
@@ -383,25 +552,62 @@ func (s *Scheduler) Wait(ctx context.Context, id string) (JobView, error) {
 
 // Stats is a point-in-time queue summary.
 type Stats struct {
-	Workers    int     `json:"workers"`
-	Busy       int     `json:"busy"`
-	Queued     int     `json:"queued"`
-	QueueDepth int     `json:"queue_depth"`
-	CacheSize  int     `json:"cache_size"`
-	AvgRunS    float64 `json:"avg_run_s"`
+	Workers     int        `json:"workers"`
+	Busy        int        `json:"busy"`
+	Queued      int        `json:"queued"`
+	QueueDepth  int        `json:"queue_depth"`
+	CacheSize   int        `json:"cache_size"`
+	AvgRunS     float64    `json:"avg_run_s"`
+	Retrying    int        `json:"retrying,omitempty"`
+	DeadLetters int        `json:"dead_letters,omitempty"`
+	WAL         *wal.Stats `json:"wal,omitempty"`
 }
 
 // Stats snapshots the queue.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
-		Workers:    s.cfg.Workers,
-		Busy:       s.busy,
-		Queued:     s.queue.Len(),
-		QueueDepth: s.cfg.QueueDepth,
-		CacheSize:  s.cache.len(),
-		AvgRunS:    s.avgRunS,
+	st := Stats{
+		Workers:     s.cfg.Workers,
+		Busy:        s.busy,
+		Queued:      s.queue.Len(),
+		QueueDepth:  s.cfg.QueueDepth,
+		CacheSize:   s.cache.len(),
+		AvgRunS:     s.avgRunS,
+		DeadLetters: len(s.dead),
+	}
+	for _, j := range s.jobs {
+		if j.view.State == JobRetrying {
+			st.Retrying++
+		}
+	}
+	if s.store != nil {
+		ws := s.store.Stats()
+		st.WAL = &ws
+	}
+	return st
+}
+
+// DeadLetters returns the jobs that reached terminal failure: attempt
+// budget exhausted, failed non-retryably, or shed by admission
+// control. Newest last; bounded.
+func (s *Scheduler) DeadLetters() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, len(s.dead))
+	copy(out, s.dead)
+	return out
+}
+
+// deadLettersKept bounds the dead-letter list; older entries age out
+// first (they remain queryable via the WAL until compaction).
+const deadLettersKept = 256
+
+// deadLetterLocked files a terminal failure. Caller holds s.mu.
+func (s *Scheduler) deadLetterLocked(v JobView) {
+	s.dead = append(s.dead, v)
+	if len(s.dead) > deadLettersKept {
+		s.dead = s.dead[len(s.dead)-deadLettersKept:]
 	}
 }
 
@@ -435,7 +641,18 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 		for s.queue.Len() > 0 {
 			j := heap.Pop(&s.queue).(*job)
 			j.pos = -1
-			s.finalizeLocked(j, JobCanceled, nil, ErrShuttingDown)
+			s.finalizeLocked(j, JobCanceled, FailCanceled, nil, ErrShuttingDown)
+		}
+		// Jobs waiting out a retry backoff hold no queue slot; cancel
+		// them too so every non-terminal job resolves before exit.
+		for _, j := range s.jobs {
+			if j.view.State == JobRetrying {
+				if j.retryTimer != nil {
+					j.retryTimer.Stop()
+					j.retryTimer = nil
+				}
+				s.finalizeLocked(j, JobCanceled, FailCanceled, nil, ErrShuttingDown)
+			}
 		}
 		s.reg.Set(telemetry.MSimQueueDepth, 0)
 		s.cond.Broadcast()
@@ -475,6 +692,14 @@ func (s *Scheduler) worker() {
 		j.view.State = JobRunning
 		j.view.StartedAt = &now
 		j.view.QueueWaitS = now.Sub(j.view.SubmittedAt).Seconds()
+		if s.store != nil {
+			// A lost start record only means replay re-queues instead of
+			// observing the attempt — safe, so log failures don't stall
+			// the worker.
+			if err := s.store.LogStart(j.view.ID, j.view.Attempt); err != nil {
+				s.reg.Inc(telemetry.MSimWalAppendErrorsTotal)
+			}
+		}
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
 		j.cancel = cancel
 		s.busy++
@@ -527,64 +752,201 @@ func (s *Scheduler) execute(ctx context.Context, cancel context.CancelFunc, j *j
 
 	s.mu.Lock()
 	state := JobDone
+	var class FailureClass
 	switch {
 	case out.err == nil:
 	case errors.Is(out.err, context.Canceled):
-		state = JobCanceled
+		state, class = JobCanceled, FailCanceled
 	default:
-		state = JobFailed
+		state, class = JobFailed, Classify(out.err)
 	}
-	s.finalizeLocked(j, state, out.result, out.err)
+	s.finalizeLocked(j, state, class, out.result, out.err)
 	s.busy--
 	s.reg.Set(telemetry.MSimWorkersBusy, float64(s.busy))
 	s.mu.Unlock()
 }
 
-// finalizeLocked moves a job to a terminal state, files it into the
-// cache or failure history, and wakes waiters. Caller holds s.mu.
-func (s *Scheduler) finalizeLocked(j *job, state JobState, result json.RawMessage, err error) {
+// noteRunLocked closes out one attempt's run-time bookkeeping: the
+// duration histogram, the Retry-After EWMA and the slowest-jobs table.
+// Caller holds s.mu.
+func (s *Scheduler) noteRunLocked(j *job, now time.Time) {
+	if j.view.StartedAt == nil {
+		return
+	}
+	j.view.RunS = now.Sub(*j.view.StartedAt).Seconds()
+	s.reg.Observe(telemetry.MSimJobDurationSeconds, j.view.RunS)
+	const alpha = 0.2
+	if s.avgRunS == 0 {
+		s.avgRunS = j.view.RunS
+	} else {
+		s.avgRunS += alpha * (j.view.RunS - s.avgRunS)
+	}
+	s.noteSlowLocked(j.view)
+}
+
+// finalizeLocked resolves a finished attempt. A retryable failure with
+// budget left schedules the next attempt (state JobRetrying — not
+// terminal, waiters keep waiting); everything else lands terminally:
+// cache, dead-letter list or failure history, a WAL record, and the
+// job's waiters wake. Caller holds s.mu.
+func (s *Scheduler) finalizeLocked(j *job, state JobState, class FailureClass, result json.RawMessage, err error) {
 	if j.view.State.Terminal() {
 		return
 	}
 	now := time.Now()
+	if state == JobFailed && class.Retryable() && j.view.Attempt < s.retry.MaxAttempts && !s.closed {
+		s.scheduleRetryLocked(j, class, err, now)
+		return
+	}
 	j.view.State = state
 	j.view.FinishedAt = &now
-	if j.view.StartedAt != nil {
-		j.view.RunS = now.Sub(*j.view.StartedAt).Seconds()
-		s.reg.Observe(telemetry.MSimJobDurationSeconds, j.view.RunS)
-		const alpha = 0.2
-		if s.avgRunS == 0 {
-			s.avgRunS = j.view.RunS
-		} else {
-			s.avgRunS += alpha * (j.view.RunS - s.avgRunS)
-		}
-		s.noteSlowLocked(j.view)
-	}
+	s.noteRunLocked(j, now)
 	switch state {
 	case JobDone:
 		j.result = result
+		j.view.Class, j.view.NextRetryAt = "", nil
 		s.reg.Inc(telemetry.MSimJobsCompletedTotal)
 		if s.cache.add(j.view.ID, cacheEntry{view: j.view, result: result}) {
 			s.reg.Inc(telemetry.MSimCacheEvictionsTotal)
 		}
+		s.walLogLocked(func() error { return s.store.LogDone(j.view.ID, j.view, result) })
 	case JobCanceled:
 		if err != nil {
 			j.view.Error = err.Error()
 		}
+		j.view.NextRetryAt = nil
 		s.reg.Inc(telemetry.MSimJobsCanceledTotal)
 		s.recent.put(j.view)
+		s.walLogLocked(func() error { return s.store.LogCancel(j.view.ID, j.view) })
 	case JobFailed:
 		if err != nil {
 			j.view.Error = err.Error()
 		}
+		if class != "" {
+			j.view.Class = string(class)
+		}
+		j.view.NextRetryAt = nil
 		s.reg.Inc(telemetry.MSimJobsFailedTotal)
 		if errors.Is(err, context.DeadlineExceeded) {
 			s.reg.Inc(telemetry.MSimJobsTimedOutTotal)
 		}
 		s.recent.put(j.view)
+		s.deadLetterLocked(j.view)
+		s.reg.Inc(telemetry.MSimJobsDeadletteredTotal)
+		s.walLogLocked(func() error { return s.store.LogFailed(j.view.ID, j.view) })
 	}
 	delete(s.jobs, j.view.ID)
 	close(j.done)
+	s.maybeCompactLocked()
+}
+
+// walLogLocked appends a terminal record, counting (but not failing
+// on) append errors: the in-memory state is already authoritative for
+// this process; durability degrades, the scheduler does not.
+func (s *Scheduler) walLogLocked(fn func() error) {
+	if s.store == nil {
+		return
+	}
+	if err := fn(); err != nil {
+		s.reg.Inc(telemetry.MSimWalAppendErrorsTotal)
+	}
+}
+
+// scheduleRetryLocked parks a retryably-failed job for its backoff:
+// Base·2^(attempt−1) clamped and jittered. The job keeps its slot in
+// s.jobs (still dedupes submissions) but not in the queue. Caller
+// holds s.mu.
+func (s *Scheduler) scheduleRetryLocked(j *job, class FailureClass, err error, now time.Time) {
+	s.noteRunLocked(j, now)
+	failedAttempt := j.view.Attempt
+	d := s.retry.Backoff(failedAttempt, s.rng)
+	at := now.Add(d)
+	j.view.State = JobRetrying
+	j.view.Attempt++
+	j.view.Class = string(class)
+	if err != nil {
+		j.view.Error = err.Error()
+	}
+	j.view.StartedAt = nil
+	j.view.FinishedAt = nil
+	j.view.RunS = 0
+	j.view.NextRetryAt = &at
+	s.reg.Inc(telemetry.MSimJobsRetriedTotal)
+	s.reg.Observe(telemetry.MSimRetryBackoffSeconds, d.Seconds())
+	if class == FailTimeout {
+		s.reg.Inc(telemetry.MSimJobsTimedOutTotal)
+	}
+	s.walLogLocked(func() error { return s.store.LogRetry(j.view.ID, j.view.Attempt) })
+	id := j.view.ID
+	j.retryTimer = time.AfterFunc(d, func() { s.requeue(id) })
+}
+
+// requeue moves a job whose backoff expired back into the queue.
+func (s *Scheduler) requeue(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.view.State != JobRetrying {
+		return
+	}
+	j.retryTimer = nil
+	if s.closed {
+		s.finalizeLocked(j, JobCanceled, FailCanceled, nil, ErrShuttingDown)
+		return
+	}
+	j.view.State = JobQueued
+	j.view.NextRetryAt = nil
+	// Queue wait for the new attempt starts now; the backoff was not
+	// time spent waiting for a worker.
+	j.view.SubmittedAt = time.Now()
+	heap.Push(&s.queue, j)
+	s.reg.Set(telemetry.MSimQueueDepth, float64(s.queue.Len()))
+	s.cond.Signal()
+}
+
+// shedLocked evicts a queued job to admit higher-priority work: a
+// terminal failure with class "shed". Caller holds s.mu.
+func (s *Scheduler) shedLocked(j *job) {
+	s.queue.remove(j)
+	s.reg.Inc(telemetry.MSimJobsShedTotal)
+	s.finalizeLocked(j, JobFailed, FailShed, nil, errShed)
+	s.reg.Set(telemetry.MSimQueueDepth, float64(s.queue.Len()))
+}
+
+// maybeCompactLocked rewrites the WAL as a snapshot of live state once
+// it passes the high-water size. The next trigger doubles from the
+// post-compaction size (floored at the configured threshold) so a log
+// whose live state is genuinely large doesn't compact on every
+// terminal transition. Caller holds s.mu.
+func (s *Scheduler) maybeCompactLocked() {
+	if s.store == nil {
+		return
+	}
+	if s.store.Stats().TotalBytes < s.compactAt {
+		return
+	}
+	var snap Snapshot
+	for _, e := range s.cache.entries() {
+		snap.Done = append(snap.Done, DoneJob{View: e.view, Result: e.result})
+	}
+	snap.Dead = append(snap.Dead, s.dead...)
+	for _, j := range s.jobs {
+		snap.Live = append(snap.Live, PendingJob{
+			ID:       j.view.ID,
+			Spec:     j.spec,
+			Priority: j.view.Priority,
+			Attempt:  j.view.Attempt,
+		})
+	}
+	if err := s.store.Compact(snap); err != nil {
+		s.reg.Inc(telemetry.MSimWalAppendErrorsTotal)
+		return
+	}
+	post := 2 * s.store.Stats().TotalBytes
+	s.compactAt = s.cfg.CompactBytes
+	if post > s.compactAt {
+		s.compactAt = post
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -722,4 +1084,18 @@ func (h *jobHeap) remove(j *job) {
 		heap.Remove(h, j.pos)
 		j.pos = -1
 	}
+}
+
+// lowest returns the job shedding would evict: minimum priority, and
+// among ties the most recently submitted (it has waited least). Linear
+// scan — the queue is bounded by QueueDepth.
+func (h jobHeap) lowest() *job {
+	var worst *job
+	for _, j := range h {
+		if worst == nil || j.view.Priority < worst.view.Priority ||
+			(j.view.Priority == worst.view.Priority && j.seq > worst.seq) {
+			worst = j
+		}
+	}
+	return worst
 }

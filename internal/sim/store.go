@@ -1,0 +1,389 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pab/internal/scenario"
+	"pab/internal/telemetry"
+	"pab/internal/wal"
+)
+
+// Store persists job state transitions to a write-ahead log so a
+// crashed or SIGKILLed pabd resumes where it left off: completed jobs
+// replay into the result cache (a replay hit, not a re-run), and jobs
+// that were queued, running or waiting out a retry backoff re-enqueue.
+//
+// The record schema is last-record-wins per job id (the scenario
+// content hash), which is what makes wal.Log compaction sound: a
+// snapshot of the live state appended after the old history replays to
+// the same state as the history alone.
+//
+// Lifecycle records, in the order a job emits them:
+//
+//	submit  spec + priority + attempt   job accepted into the queue
+//	start   attempt                     a worker picked it up
+//	retry   attempt                     failed retryably; backoff scheduled
+//	done    view + result               terminal success
+//	failed  view + class                terminal failure (dead-letter)
+//	cancel  view                        terminal cancellation
+type Store struct {
+	log *wal.Log
+	reg *telemetry.Registry
+}
+
+// Record op names.
+const (
+	opSubmit = "submit"
+	opStart  = "start"
+	opRetry  = "retry"
+	opDone   = "done"
+	opFailed = "failed"
+	opCancel = "cancel"
+)
+
+// walRecord is the JSON payload of one WAL record. Only the fields a
+// given op needs are set; omitempty keeps records small.
+type walRecord struct {
+	Op       string          `json:"op"`
+	ID       string          `json:"id"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	Priority int             `json:"priority,omitempty"`
+	Attempt  int             `json:"attempt,omitempty"`
+	Class    string          `json:"class,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	View     *JobView        `json:"view,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// OpenStore opens (or creates) the job store over a WAL in opts.Dir,
+// truncating any torn tail left by a crash.
+func OpenStore(opts wal.Options) (*Store, error) {
+	l, err := wal.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	return &Store{log: l, reg: reg}, nil
+}
+
+func (st *Store) append(rec walRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sim: store: %w", err)
+	}
+	return st.log.Append(b)
+}
+
+// LogSubmit records a job's admission. The spec is stored verbatim so
+// replay can re-enqueue it; the id is re-derived from the spec on
+// replay rather than trusted.
+func (st *Store) LogSubmit(id string, spec scenario.Spec, priority, attempt int) error {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("sim: store: %w", err)
+	}
+	return st.append(walRecord{Op: opSubmit, ID: id, Spec: b, Priority: priority, Attempt: attempt})
+}
+
+// LogStart records a worker picking the job up for the given attempt.
+func (st *Store) LogStart(id string, attempt int) error {
+	return st.append(walRecord{Op: opStart, ID: id, Attempt: attempt})
+}
+
+// LogRetry records a retryable failure: the job is waiting out its
+// backoff and will run again as the given attempt.
+func (st *Store) LogRetry(id string, attempt int) error {
+	return st.append(walRecord{Op: opRetry, ID: id, Attempt: attempt})
+}
+
+// LogDone records terminal success with the result JSON, so replay
+// repopulates the result cache and the work is never re-run.
+func (st *Store) LogDone(id string, view JobView, result json.RawMessage) error {
+	return st.append(walRecord{Op: opDone, ID: id, View: &view, Result: result})
+}
+
+// LogFailed records terminal failure (attempt budget exhausted, shed,
+// or non-retryable error).
+func (st *Store) LogFailed(id string, view JobView) error {
+	return st.append(walRecord{Op: opFailed, ID: id, View: &view, Class: view.Class, Error: view.Error})
+}
+
+// LogCancel records terminal cancellation.
+func (st *Store) LogCancel(id string, view JobView) error {
+	return st.append(walRecord{Op: opCancel, ID: id, View: &view})
+}
+
+// PendingJob is a job the WAL says was admitted but not finished: it
+// must re-enqueue on startup.
+type PendingJob struct {
+	ID       string
+	Spec     scenario.Spec
+	Priority int
+	Attempt  int
+}
+
+// DoneJob is a completed job recovered from the WAL: view + result,
+// ready to prime the cache.
+type DoneJob struct {
+	View   JobView
+	Result json.RawMessage
+}
+
+// ReplayState is everything a restarted scheduler learns from the WAL,
+// in first-submission order within each class.
+type ReplayState struct {
+	Pending  []PendingJob
+	Done     []DoneJob
+	Dead     []JobView // terminal failures
+	Canceled []JobView
+	// Records is the total record count replayed; Skipped counts
+	// records that no longer decode (schema skew) and were dropped
+	// rather than failing startup.
+	Records int
+	Skipped int
+}
+
+// replayJob folds one job's records; the last lifecycle op wins.
+type replayJob struct {
+	id       string
+	spec     scenario.Spec
+	specOK   bool
+	priority int
+	attempt  int
+	state    JobState
+	view     JobView
+	result   json.RawMessage
+}
+
+// Replay folds the whole WAL into the live state. Sealed-segment
+// corruption surfaces as wal.ErrCorrupt; a torn final record was
+// already truncated by OpenStore.
+func (st *Store) Replay() (ReplayState, error) {
+	jobs := make(map[string]*replayJob)
+	var order []string
+	var rs ReplayState
+
+	err := st.log.Replay(func(payload []byte) error {
+		rs.Records++
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.ID == "" {
+			rs.Skipped++
+			return nil
+		}
+		j, ok := jobs[rec.ID]
+		if !ok {
+			j = &replayJob{id: rec.ID, attempt: 1}
+			jobs[rec.ID] = j
+			order = append(order, rec.ID)
+		}
+		switch rec.Op {
+		case opSubmit:
+			spec, id, err := scenario.Decode(rec.Spec)
+			if err != nil || id != rec.ID {
+				rs.Skipped++
+				delete(jobs, rec.ID)
+				return nil
+			}
+			j.spec, j.specOK = spec, true
+			j.priority = rec.Priority
+			j.attempt = max(rec.Attempt, 1)
+			j.state = JobQueued
+		case opStart, opRetry:
+			if rec.Attempt > 0 {
+				j.attempt = rec.Attempt
+			}
+			j.state = JobQueued
+		case opDone:
+			j.state = JobDone
+			if rec.View != nil {
+				j.view = *rec.View
+			}
+			j.result = rec.Result
+		case opFailed:
+			j.state = JobFailed
+			if rec.View != nil {
+				j.view = *rec.View
+			}
+		case opCancel:
+			j.state = JobCanceled
+			if rec.View != nil {
+				j.view = *rec.View
+			}
+		default:
+			rs.Skipped++
+		}
+		return nil
+	})
+	if err != nil {
+		return ReplayState{}, err
+	}
+
+	for _, id := range order {
+		j, ok := jobs[id]
+		if !ok {
+			continue
+		}
+		switch j.state {
+		case JobDone:
+			rs.Done = append(rs.Done, DoneJob{View: j.view, Result: j.result})
+		case JobFailed:
+			rs.Dead = append(rs.Dead, j.view)
+		case JobCanceled:
+			rs.Canceled = append(rs.Canceled, j.view)
+		default:
+			if j.specOK {
+				rs.Pending = append(rs.Pending, PendingJob{ID: j.id, Spec: j.spec, Priority: j.priority, Attempt: j.attempt})
+			} else {
+				// A start/retry whose submit record is gone (schema skew
+				// in the spec): nothing to re-run.
+				rs.Skipped++
+			}
+		}
+	}
+	return rs, nil
+}
+
+// Snapshot is the live state a compaction preserves: pending jobs
+// (re-submittable), completed results and dead letters. Cancellation
+// history is deliberately dropped — it is terminal, result-less and
+// only served best-effort from the bounded history anyway.
+type Snapshot struct {
+	Live []PendingJob
+	Done []DoneJob
+	Dead []JobView
+}
+
+// Compact rewrites the WAL as one snapshot segment, bounding its size.
+func (st *Store) Compact(snap Snapshot) error {
+	recs := make([][]byte, 0, len(snap.Done)+len(snap.Dead)+len(snap.Live))
+	add := func(rec walRecord) error {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("sim: store: %w", err)
+		}
+		recs = append(recs, b)
+		return nil
+	}
+	for i := range snap.Done {
+		v := snap.Done[i].View
+		if err := add(walRecord{Op: opDone, ID: v.ID, View: &v, Result: snap.Done[i].Result}); err != nil {
+			return err
+		}
+	}
+	for i := range snap.Dead {
+		v := snap.Dead[i]
+		if err := add(walRecord{Op: opFailed, ID: v.ID, View: &v, Class: v.Class, Error: v.Error}); err != nil {
+			return err
+		}
+	}
+	for _, p := range snap.Live {
+		b, err := json.Marshal(p.Spec)
+		if err != nil {
+			return fmt.Errorf("sim: store: %w", err)
+		}
+		if err := add(walRecord{Op: opSubmit, ID: p.ID, Spec: b, Priority: p.Priority, Attempt: p.Attempt}); err != nil {
+			return err
+		}
+	}
+	return st.log.Compact(recs)
+}
+
+// Stats snapshots the underlying WAL.
+func (st *Store) Stats() wal.Stats { return st.log.Stats() }
+
+// Sync forces buffered records to stable storage.
+func (st *Store) Sync() error { return st.log.Sync() }
+
+// Close syncs and closes the WAL.
+func (st *Store) Close() error { return st.log.Close() }
+
+// ---------------------------------------------------------------------------
+// Audit
+// ---------------------------------------------------------------------------
+
+// AuditReport summarizes a WAL's job lifecycle for the recovery
+// harness (cmd/pabcrash): terminal-state counts plus any violations of
+// the exactly-once invariants.
+type AuditReport struct {
+	Records    int      `json:"records"`
+	Jobs       int      `json:"jobs"`
+	Done       int      `json:"done"`
+	Failed     int      `json:"failed"`
+	Canceled   int      `json:"canceled"`
+	Pending    int      `json:"pending"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// auditViolationsKept bounds the violation list so a systematically
+// broken log doesn't produce a gigabyte of report.
+const auditViolationsKept = 32
+
+// AuditWAL replays the WAL in dir and checks the exactly-once
+// contract: once a job's done record lands, no later start or done
+// record may exist for that id (a re-run of completed physics), and —
+// after the system has converged — every job's last record must be
+// terminal. Pending jobs are counted, not flagged, so the caller
+// decides whether in-flight work is a failure (it is, after
+// convergence).
+func AuditWAL(dir string) (AuditReport, error) {
+	st, err := OpenStore(wal.Options{Dir: dir, Fsync: wal.FsyncNever, Registry: telemetry.NewRegistry()})
+	if err != nil {
+		return AuditReport{}, err
+	}
+	defer st.Close()
+
+	var rep AuditReport
+	doneSeen := make(map[string]bool)
+	last := make(map[string]string) // id → last lifecycle op
+	violate := func(format string, args ...any) {
+		if len(rep.Violations) < auditViolationsKept {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+	err = st.log.Replay(func(payload []byte) error {
+		rep.Records++
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.ID == "" {
+			violate("record %d: undecodable", rep.Records)
+			return nil
+		}
+		short := rec.ID
+		if len(short) > 12 {
+			short = short[:12]
+		}
+		switch rec.Op {
+		case opStart:
+			if doneSeen[rec.ID] {
+				violate("job %s: started (attempt %d) after done — completed work re-ran", short, rec.Attempt)
+			}
+		case opDone:
+			if doneSeen[rec.ID] {
+				violate("job %s: done recorded twice", short)
+			}
+			doneSeen[rec.ID] = true
+		}
+		last[rec.ID] = rec.Op
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.Jobs = len(last)
+	for _, op := range last {
+		switch op {
+		case opDone:
+			rep.Done++
+		case opFailed:
+			rep.Failed++
+		case opCancel:
+			rep.Canceled++
+		default:
+			rep.Pending++
+		}
+	}
+	return rep, nil
+}

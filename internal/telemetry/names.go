@@ -103,6 +103,26 @@ const (
 	MSimJobQueueWaitSeconds Name = "sim_job_queue_wait_seconds"
 	MSimStreamRowsTotal     Name = "sim_stream_rows_total"
 
+	// sim durability — the WAL-backed job lifecycle: retries with
+	// backoff, admission-control shedding, dead-lettering and startup
+	// replay.
+	MSimJobsRetriedTotal        Name = "sim_jobs_retried_total"
+	MSimJobsShedTotal           Name = "sim_jobs_shed_total"
+	MSimJobsDeadletteredTotal   Name = "sim_jobs_deadlettered_total"
+	MSimRetryBackoffSeconds     Name = "sim_retry_backoff_seconds"
+	MSimWalReplayedJobsTotal    Name = "sim_wal_replayed_jobs_total"
+	MSimWalReplayedResultsTotal Name = "sim_wal_replayed_results_total"
+	MSimWalAppendErrorsTotal    Name = "sim_wal_append_errors_total"
+
+	// wal — the append-only durable record log under the job store.
+	MWalAppendsTotal         Name = "wal_appends_total"
+	MWalFsyncsTotal          Name = "wal_fsyncs_total"
+	MWalRotationsTotal       Name = "wal_rotations_total"
+	MWalCompactionsTotal     Name = "wal_compactions_total"
+	MWalTornTruncationsTotal Name = "wal_torn_truncations_total"
+	MWalReplayRecordsTotal   Name = "wal_replay_records_total"
+	MWalSizeBytes            Name = "wal_size_bytes"
+
 	// prof — stage-level pipeline profiler (internal/prof). Each
 	// receiver-chain stage records wall time, samples/sec throughput
 	// and a heap-allocation delta.
