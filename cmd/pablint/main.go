@@ -6,7 +6,8 @@
 //
 //	go run ./cmd/pablint ./...            # whole module
 //	go run ./cmd/pablint ./internal/...   # one subtree
-//	go run ./cmd/pablint -rules determinism,floatcmp ./...
+//	go run ./cmd/pablint -only determinism,floatcmp ./...
+//	go run ./cmd/pablint -exclude lockdiscipline ./...
 //	go run ./cmd/pablint -list            # show the rules
 //	go run ./cmd/pablint -json ./... > findings.json
 //	go run ./cmd/pablint -baseline findings.json ./...   # only NEW findings fail
@@ -43,13 +44,15 @@ func main() {
 }
 
 func realMain() int {
-	rules := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	rules := flag.String("rules", "", "alias for -only (kept for compatibility)")
+	only := flag.String("only", "", "comma-separated rule subset to run (default: all)")
+	exclude := flag.String("exclude", "", "comma-separated rules to skip")
 	list := flag.Bool("list", false, "list available rules and exit")
 	dir := flag.String("dir", ".", "module root to analyze (patterns resolve relative to it)")
 	jsonOut := flag.Bool("json", false, "write a JSON report to stdout (findings still print to stderr)")
 	baseline := flag.String("baseline", "", "JSON report of accepted findings; only new findings fail")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: pablint [-dir root] [-rules r1,r2] [-json] [-baseline file] [-list] [patterns]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pablint [-dir root] [-only r1,r2] [-exclude r1,r2] [-json] [-baseline file] [-list] [patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,23 +65,22 @@ func realMain() int {
 		}
 		return exitClean
 	}
-	if *rules != "" {
-		var keep []*lint.Analyzer
-		for _, want := range strings.Split(*rules, ",") {
-			want = strings.TrimSpace(want)
-			found := false
-			for _, a := range analyzers {
-				if a.Name == want {
-					keep = append(keep, a)
-					found = true
-				}
-			}
-			if !found {
-				fmt.Fprintf(os.Stderr, "pablint: unknown rule %q (try -list)\n", want)
-				return exitError
-			}
-		}
-		analyzers = keep
+	if *only != "" && *rules != "" && *only != *rules {
+		fmt.Fprintln(os.Stderr, "pablint: -only and -rules are aliases; give just one")
+		return exitError
+	}
+	keepSet := *only
+	if keepSet == "" {
+		keepSet = *rules
+	}
+	analyzers, err := selectAnalyzers(analyzers, keepSet, *exclude)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pablint: %v\n", err)
+		return exitError
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "pablint: rule selection left nothing to run")
+		return exitError
 	}
 
 	patterns := flag.Args()
@@ -157,4 +159,60 @@ func realMain() int {
 		return exitFindings
 	}
 	return exitClean
+}
+
+// selectAnalyzers applies -only/-exclude. Every name in either list
+// must exist, so a typo fails loudly instead of silently running (or
+// skipping) the wrong rules.
+func selectAnalyzers(all []*lint.Analyzer, only, exclude string) ([]*lint.Analyzer, error) {
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	parse := func(spec string) ([]string, error) {
+		if spec == "" {
+			return nil, nil
+		}
+		var names []string
+		for _, n := range strings.Split(spec, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if byName[n] == nil {
+				return nil, fmt.Errorf("unknown rule %q (try -list)", n)
+			}
+			names = append(names, n)
+		}
+		return names, nil
+	}
+	onlyNames, err := parse(only)
+	if err != nil {
+		return nil, err
+	}
+	excludeNames, err := parse(exclude)
+	if err != nil {
+		return nil, err
+	}
+	keep := all
+	if len(onlyNames) > 0 {
+		keep = keep[:0:0]
+		for _, n := range onlyNames {
+			keep = append(keep, byName[n])
+		}
+	}
+	if len(excludeNames) > 0 {
+		skip := make(map[string]bool, len(excludeNames))
+		for _, n := range excludeNames {
+			skip[n] = true
+		}
+		var filtered []*lint.Analyzer
+		for _, a := range keep {
+			if !skip[a.Name] {
+				filtered = append(filtered, a)
+			}
+		}
+		keep = filtered
+	}
+	return keep, nil
 }

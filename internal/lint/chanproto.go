@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanProtoAnalyzer enforces channel ownership and close discipline in
+// the concurrency packages:
+//
+//  1. Close by non-owner: `close(ch)` where ch is a bidirectional
+//     channel received as a parameter. Only the owning sender — the
+//     function that created the channel, or one handed a directional
+//     chan<- by the owner — should close; a callee closing a channel
+//     it was merely lent is how double-close and send-after-close
+//     panics start.
+//  2. Send-after-close / double-close on a straight-line path: within
+//     one statement list, a send or another close on a channel that an
+//     earlier statement in the same list already closed. Guaranteed
+//     panic, no scheduling required.
+//  3. Select without an exit in an unbounded loop: a `for {}` loop
+//     whose body is driven by a default-less select with no case that
+//     can leave the loop — the goroutine has no cancellation path.
+//     (goroleak flags the spawn site when it can see it; this rule
+//     catches the loop itself wherever it is declared.)
+//  4. Direction discipline: an exported function with a bidirectional
+//     channel parameter it only ever sends to (or only receives from)
+//     and never passes on — the signature should say chan<- / <-chan
+//     so the compiler enforces the protocol for every caller.
+func ChanProtoAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "chanproto",
+		Doc:  "channel close ownership, send-after-close, cancellation cases in loops, direction-typed parameters",
+		Run:  runChanProto,
+	}
+}
+
+func runChanProto(pass *Pass) {
+	if !hasPath(pass.Cfg.ConcurrencyPkgs, pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCloseOwnership(pass, fd)
+			checkSendAfterClose(pass, fd.Body)
+			checkLoopCancellation(pass, fd.Body)
+			checkDirection(pass, fd)
+		}
+	}
+}
+
+// builtinCloseArg returns the argument of a `close(ch)` call on the
+// predeclared close builtin (nil when call is anything else, including
+// a shadowing user-defined close).
+func builtinCloseArg(pkg *Package, call *ast.CallExpr) ast.Expr {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return nil
+	}
+	if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// paramObjs returns the objects of fd's parameters of bidirectional
+// channel type.
+func paramObjs(pkg *Package, fd *ast.FuncDecl) map[types.Object]*ast.Ident {
+	out := make(map[types.Object]*ast.Ident)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if ch, ok := obj.Type().Underlying().(*types.Chan); ok && ch.Dir() == types.SendRecv {
+				out[obj] = name
+			}
+		}
+	}
+	return out
+}
+
+// checkCloseOwnership flags close(ch) on bidirectional parameters.
+func checkCloseOwnership(pass *Pass, fd *ast.FuncDecl) {
+	params := paramObjs(pass.Pkg, fd)
+	if len(params) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		arg := builtinCloseArg(pass.Pkg, call)
+		if arg == nil {
+			return true
+		}
+		ch := chanObj(pass.Pkg, arg)
+		if ch == nil {
+			return true
+		}
+		if _, isParam := params[ch]; isParam {
+			pass.Reportf(call.Pos(),
+				"closing channel parameter %s: only the owning sender should close; keep close at the creator or pass a directional chan<-",
+				ch.Name())
+		}
+		return true
+	})
+}
+
+// checkSendAfterClose walks every statement list and flags sends or
+// closes on a channel closed earlier in the same list.
+func checkSendAfterClose(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch x := n.(type) {
+		case *ast.BlockStmt:
+			list = x.List
+		case *ast.CaseClause:
+			list = x.Body
+		case *ast.CommClause:
+			list = x.Body
+		default:
+			return true
+		}
+		closed := make(map[types.Object]token.Pos)
+		for _, s := range list {
+			switch x := s.(type) {
+			case *ast.ExprStmt:
+				call, ok := x.X.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				arg := builtinCloseArg(pass.Pkg, call)
+				if arg == nil {
+					continue
+				}
+				ch := chanObj(pass.Pkg, arg)
+				if ch == nil {
+					continue
+				}
+				if prev, was := closed[ch]; was {
+					pass.Reportf(call.Pos(),
+						"%s already closed at %s; closing again panics",
+						ch.Name(), pass.Fset().Position(prev))
+					continue
+				}
+				closed[ch] = call.Pos()
+			case *ast.SendStmt:
+				ch := chanObj(pass.Pkg, x.Chan)
+				if ch == nil {
+					continue
+				}
+				if prev, was := closed[ch]; was {
+					pass.Reportf(x.Pos(),
+						"send on %s after it was closed at %s; sending on a closed channel panics",
+						ch.Name(), pass.Fset().Position(prev))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkLoopCancellation flags default-less selects driving an
+// unbounded loop with no way out.
+func checkLoopCancellation(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if loopCanExit(loop.Body) {
+			return true
+		}
+		// The loop itself can never exit; if it is driven by a select,
+		// point at the select — that's where the missing ctx.Done()/stop
+		// case belongs.
+		reported := false
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			if reported {
+				return false
+			}
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				return false
+			}
+			sel, okSel := m.(*ast.SelectStmt)
+			if !okSel || selectHasDefault(sel) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"select drives an unbounded loop with no case that exits; add a cancellation case (ctx.Done() or a stop channel) that returns")
+			reported = true
+			return false
+		})
+		return true
+	})
+}
+
+// checkDirection suggests directional channel parameter types on
+// exported functions whose bidirectional channel parameters are used
+// one-way and never escape.
+func checkDirection(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() {
+		return
+	}
+	params := paramObjs(pass.Pkg, fd)
+	if len(params) == 0 {
+		return
+	}
+	type usage struct {
+		sends, recvs, escapes int
+	}
+	use := make(map[types.Object]*usage)
+	for obj := range params {
+		use[obj] = &usage{}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if u := use[chanObj(pass.Pkg, x.Chan)]; u != nil {
+				u.sends++
+			}
+			// The sent value might itself be a channel escaping.
+			if u := use[chanObj(pass.Pkg, x.Value)]; u != nil {
+				u.escapes++
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if u := use[chanObj(pass.Pkg, x.X)]; u != nil {
+					u.recvs++
+				}
+			}
+		case *ast.RangeStmt:
+			if u := use[chanObj(pass.Pkg, x.X)]; u != nil {
+				u.recvs++
+			}
+		case *ast.CallExpr:
+			if arg := builtinCloseArg(pass.Pkg, x); arg != nil {
+				// close is sender-side; the ownership rule already covers it.
+				if u := use[chanObj(pass.Pkg, arg)]; u != nil {
+					u.sends++
+				}
+				return true
+			}
+			for _, a := range x.Args {
+				if u := use[chanObj(pass.Pkg, a)]; u != nil {
+					u.escapes++
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				if u := use[chanObj(pass.Pkg, r)]; u != nil {
+					u.escapes++
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if u := use[chanObj(pass.Pkg, r)]; u != nil {
+					u.escapes++
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, okKv := el.(*ast.KeyValueExpr); okKv {
+					el = kv.Value
+				}
+				if u := use[chanObj(pass.Pkg, el)]; u != nil {
+					u.escapes++
+				}
+			}
+		}
+		return true
+	})
+	for obj, u := range use {
+		if u.escapes > 0 || u.sends+u.recvs == 0 {
+			continue
+		}
+		name := params[obj]
+		switch {
+		case u.sends > 0 && u.recvs == 0:
+			pass.Reportf(name.Pos(),
+				"parameter %s is only sent to; declare it chan<- so the compiler enforces the direction for callers",
+				obj.Name())
+		case u.recvs > 0 && u.sends == 0:
+			pass.Reportf(name.Pos(),
+				"parameter %s is only received from; declare it <-chan so the compiler enforces the direction for callers",
+				obj.Name())
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLeakAnalyzer requires every `go` statement in the concurrency
+// packages to have a provable termination path. Four checks:
+//
+//  1. Unbounded loop: the spawned body (a func literal, or a
+//     same-package function/method the spawn resolves to statically)
+//     runs a condition-less `for` loop with no return, break or goto —
+//     nothing can ever stop it. Ranging over a channel is exempt
+//     (close terminates it), as is any loop containing an exit.
+//  2. Abandoned send: the goroutine sends on an unbuffered channel
+//     made in the spawning function whose only receives sit in
+//     multi-case selects — if the select takes another case (timeout,
+//     cancellation) the goroutine blocks forever. A result channel
+//     like this should be buffered with capacity 1.
+//  3. Unjoined loop spawn: `go` inside a loop where the spawned body
+//     offers no join or completion signal at all (no WaitGroup
+//     Done/Add, no channel send/close) — the caller cannot ever wait
+//     for these, and a burst of iterations is an unbounded goroutine
+//     herd.
+//  4. wg.Add in the goroutine: WaitGroup.Add inside the spawned body
+//     races with the spawner's Wait; Add must happen before `go`.
+//
+// Spawns whose body cannot be resolved (interface methods, func
+// values) are skipped — dynamic dispatch is how injected workers stay
+// legal, mirroring seedflow's treatment.
+func GoroLeakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc:  "every spawned goroutine needs a provable termination path and a receivable result",
+		Run:  runGoroLeak,
+	}
+}
+
+func runGoroLeak(pass *Pass) {
+	if !hasPath(pass.Cfg.ConcurrencyPkgs, pass.Pkg.Path) {
+		return
+	}
+	decls := funcDeclsByObj(pass.Pkg)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncSpawns(pass, fd, decls)
+		}
+	}
+}
+
+// checkFuncSpawns inspects one declared function for go statements,
+// tracking whether each spawn happens inside a loop.
+func checkFuncSpawns(pass *Pass, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) {
+	unbuffered := unbufferedLocals(pass.Pkg, fd.Body)
+	depth := 0
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			depth++
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == n {
+					return true
+				}
+				walk(m)
+				return false
+			})
+			depth--
+			return
+		case *ast.GoStmt:
+			checkSpawn(pass, fd, x, depth > 0, decls, unbuffered)
+			return
+		}
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			walk(m)
+			return false
+		})
+	}
+	walk(fd.Body)
+}
+
+// checkSpawn applies the four checks to one go statement.
+func checkSpawn(pass *Pass, enclosing *ast.FuncDecl, g *ast.GoStmt, inLoop bool, decls map[*types.Func]*ast.FuncDecl, unbuffered map[types.Object]bool) {
+	body, bodyName := spawnedBody(pass.Pkg, g, decls)
+	if body == nil {
+		return // dynamic dispatch: deliberately invisible
+	}
+	label := "goroutine"
+	if bodyName != "" {
+		label = bodyName
+	}
+
+	// Check 1: unbounded loop with no exit.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !loopCanExit(loop.Body) {
+			pass.Reportf(g.Pos(),
+				"%s spawned here loops forever with no return/break; add a context or stop-channel case so it can terminate",
+				label)
+			return false
+		}
+		return true
+	})
+
+	// Check 4: wg.Add inside the spawned body.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isSyncMethod(pass.Pkg, call, "WaitGroup", "Add") {
+			pass.Reportf(call.Pos(),
+				"WaitGroup.Add inside the spawned goroutine races with Wait; call Add before the go statement")
+		}
+		return true
+	})
+
+	// Check 2: sends on unbuffered locals whose receivers can abandon.
+	for _, send := range bodySends(pass.Pkg, body) {
+		ch := chanObj(pass.Pkg, send.Chan)
+		if ch == nil || !unbuffered[ch] {
+			continue
+		}
+		if guaranteedReceiver(pass.Pkg, enclosing.Body, ch, body) {
+			continue
+		}
+		pass.Reportf(send.Pos(),
+			"send on unbuffered %s can block this goroutine forever if the receiver abandons its select; make the channel buffered (cap 1) or guarantee the receive",
+			ch.Name())
+	}
+
+	// Check 3: fire-and-forget spawn in a loop.
+	if inLoop && !hasJoinEvidence(pass.Pkg, body) {
+		pass.Reportf(g.Pos(),
+			"goroutine spawned in a loop with no join or completion signal (no WaitGroup, channel send or close); the caller can never wait for these")
+	}
+}
+
+// spawnedBody resolves the goroutine body: a func literal directly, or
+// the declaration of a statically known same-package callee.
+func spawnedBody(pkg *Package, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) (*ast.BlockStmt, string) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, ""
+	}
+	callee := staticCallee(pkg, g.Call)
+	if callee == nil {
+		return nil, ""
+	}
+	if fd, ok := decls[callee]; ok {
+		return fd.Body, funcDisplayName(callee)
+	}
+	return nil, ""
+}
+
+// unbufferedLocals finds channels made without capacity in this
+// function: `ch := make(chan T)`.
+func unbufferedLocals(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, okId := lhs.(*ast.Ident)
+			if !okId {
+				continue
+			}
+			call, okCall := as.Rhs[i].(*ast.CallExpr)
+			if !okCall || !unbufferedMake(pkg, call) {
+				continue
+			}
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// bodySends collects the send statements in a spawned body (not in
+// nested closures).
+func bodySends(pkg *Package, body *ast.BlockStmt) []*ast.SendStmt {
+	var out []*ast.SendStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if s, ok := n.(*ast.SendStmt); ok {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// guaranteedReceiver reports whether the enclosing function contains a
+// plain (non-select) receive from ch outside the spawned body — a
+// receive that, once reached, cannot abandon the sender. Receives
+// inside multi-case selects don't count: the select can take the other
+// case and never come back.
+func guaranteedReceiver(pkg *Package, enclosing *ast.BlockStmt, ch types.Object, spawned *ast.BlockStmt) bool {
+	found := false
+	var selects []*ast.SelectStmt
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SelectStmt); ok {
+			selects = append(selects, s)
+		}
+		return true
+	})
+	inSelect := func(pos token.Pos) bool {
+		for _, s := range selects {
+			if s.Pos() <= pos && pos <= s.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if n == spawned {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && chanObj(pkg, x.X) == ch && !inSelect(x.Pos()) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if chanObj(pkg, x.X) == ch {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasJoinEvidence reports whether a spawned body offers any completion
+// signal: a WaitGroup Done/Add call, or a send/close on any channel.
+func hasJoinEvidence(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if isSyncMethod(pkg, x, "WaitGroup", "Done") || isSyncMethod(pkg, x, "WaitGroup", "Add") {
+				found = true
+			}
+			if builtinCloseArg(pkg, x) != nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSyncMethod reports whether call is recvType.name from package sync.
+func isSyncMethod(pkg *Package, call *ast.CallExpr, recvType, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s, okSel := pkg.Info.Selections[sel]
+	if !okSel {
+		return false
+	}
+	fn, okFn := s.Obj().(*types.Func)
+	if !okFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	return recvTypeName(fn) == recvType && strings.HasSuffix(sel.Sel.Name, name)
+}

@@ -112,6 +112,11 @@ type Program struct {
 	// seedflow passes; built on first use, safe under parallel Run.
 	flowOnce  sync.Once
 	flowGraph *callGraph
+
+	// lockOnce/lockGraph cache the module lock-order graph shared by
+	// the lockdiscipline passes, same lifecycle as flowGraph.
+	lockOnce  sync.Once
+	lockGraph *lockOrderGraph
 }
 
 // Config parameterises the analyzers so the same rules run over the
@@ -141,6 +146,10 @@ type Config struct {
 	// EpsilonHelpers maps import path -> function names whose bodies
 	// may compare floats exactly (they implement the tolerance).
 	EpsilonHelpers map[string][]string
+	// ConcurrencyPkgs are import paths subject to the concurrency rules
+	// (lockdiscipline, goroleak, chanproto) — the service layer, where
+	// mutexes, goroutines and channels live.
+	ConcurrencyPkgs []string
 }
 
 // DefaultConfig returns the configuration for the pab module itself.
@@ -193,6 +202,16 @@ func DefaultConfig() *Config {
 			"pab/internal/units": {"ApproxEqual"},
 			"pab/internal/stats": {"ApproxEqual"},
 		},
+		ConcurrencyPkgs: []string{
+			"pab/internal/sim",
+			"pab/internal/wal",
+			"pab/internal/telemetry",
+			"pab/internal/prof",
+			"pab/internal/mac",
+			"pab/internal/cli",
+			"pab/cmd/pabd",
+			"pab/cmd/pabcrash",
+		},
 	}
 }
 
@@ -207,6 +226,9 @@ func Analyzers(cfg *Config) []*Analyzer {
 		DimFlowAnalyzer(),
 		SeedFlowAnalyzer(),
 		NanGuardAnalyzer(),
+		LockDisciplineAnalyzer(),
+		GoroLeakAnalyzer(),
+		ChanProtoAnalyzer(),
 	}
 }
 

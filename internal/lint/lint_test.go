@@ -390,6 +390,29 @@ func FuzzParseIgnoreDirective(f *testing.F) {
 	})
 }
 
+// BenchmarkLintConcurrency times just the concurrency tier
+// (lockdiscipline, goroleak, chanproto) over the real module tree; the
+// lock-order graph is the only module-wide fixpoint in the tier, so
+// this isolates its cost from the physics rules.
+func BenchmarkLintConcurrency(b *testing.B) {
+	prog, cfg, err := loadProgram(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzers := []*Analyzer{
+		LockDisciplineAnalyzer(),
+		GoroLeakAnalyzer(),
+		ChanProtoAnalyzer(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh Program rebuilds the cached lock-order graph, matching
+		// a cold pablint run.
+		iterProg := &Program{Pkgs: prog.Pkgs, Loader: prog.Loader}
+		RunAll(iterProg, cfg, analyzers)
+	}
+}
+
 // BenchmarkLintTree times the full suite over the real module tree —
 // load once, analyze per iteration — so parallelism regressions and
 // accidentally quadratic analyzers show up in CI benchmarks.

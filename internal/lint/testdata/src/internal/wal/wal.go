@@ -1,0 +1,156 @@
+// Package wal is the goroleak and chanproto fixture: goroutine
+// termination paths, channel close ownership, send-after-close and
+// cancellation cases.
+package wal
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work() int { return 1 }
+
+// Spin spawns a goroutine that can never terminate.
+func Spin() {
+	go func() { // want "loops forever with no return/break"
+		for {
+			work()
+		}
+	}()
+}
+
+// SpinStoppable is the negative twin: the loop has a return path.
+func SpinStoppable(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Millisecond):
+				work()
+			}
+		}
+	}()
+}
+
+// Fetch abandons the producer if the timeout wins the select.
+func Fetch() int {
+	ch := make(chan int)
+	go func() {
+		ch <- work() // want "send on unbuffered ch can block this goroutine forever"
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Millisecond):
+		return 0
+	}
+}
+
+// FetchBuffered is the negative twin: cap 1 lets the producer exit.
+func FetchBuffered() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- work()
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Millisecond):
+		return 0
+	}
+}
+
+// Group registers with the WaitGroup inside the goroutine.
+func Group(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "WaitGroup.Add inside the spawned goroutine"
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// GroupSafe is the negative twin: Add before the go statement.
+func GroupSafe(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// Scatter fires goroutines in a loop that nothing can ever join.
+func Scatter(items []int) {
+	for range items {
+		go work() // want "spawned in a loop with no join"
+	}
+}
+
+// drain closes a channel it was merely lent.
+func drain(ch chan int) {
+	for range ch {
+	}
+	close(ch) // want "closing channel parameter ch"
+}
+
+// Burst double-faults on a channel it owns.
+func Burst() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1   // want "send on ch after it was closed"
+	close(ch) // want "ch already closed"
+}
+
+// Owner is the negative twin: create, send, close, in order.
+func Owner() chan int {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	return ch
+}
+
+// pump forwards forever with no cancellation case.
+func pump(in chan int, out chan int) {
+	for {
+		select { // want "add a cancellation case"
+		case v := <-in:
+			out <- v
+		}
+	}
+}
+
+// pumpStoppable is the negative twin.
+func pumpStoppable(ctx context.Context, in chan int, out chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			out <- v
+		}
+	}
+}
+
+// Feed only sends on its bidirectional parameter.
+func Feed(ch chan int) { // want "only sent to; declare it chan<-"
+	ch <- 1
+}
+
+// FeedDirectional is the negative twin: the signature says so.
+func FeedDirectional(ch chan<- int) {
+	ch <- 1
+}
+
+// Relay passes its channel on: bidirectional stays legal.
+func Relay(ch chan int) {
+	FeedDirectional(ch)
+}

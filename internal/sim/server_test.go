@@ -15,10 +15,14 @@ import (
 
 	"pab/internal/scenario"
 	"pab/internal/telemetry"
+	"pab/internal/testutil"
 )
 
 func newTestServer(t *testing.T, cfg Config, run Runner) (*httptest.Server, *Scheduler) {
 	t.Helper()
+	// Registered before the scheduler/server cleanups (cleanups run
+	// LIFO), so the leak check fires after both have shut down.
+	t.Cleanup(testutil.CheckGoroutines(t))
 	sched, _ := newTestScheduler(t, cfg, run)
 	ts := httptest.NewServer(NewServer(sched).Handler())
 	t.Cleanup(ts.Close)

@@ -488,59 +488,50 @@ func (s *Scheduler) Result(id string) (JobView, json.RawMessage, bool) {
 // Cancel cancels a queued or running job. Canceling an unknown or
 // finished job returns false.
 func (s *Scheduler) Cancel(id string) bool {
+	ok, cancel := s.cancelJob(id)
+	if cancel != nil {
+		cancel()
+	}
+	return ok
+}
+
+// cancelJob is the locked portion of Cancel: queued and retrying jobs
+// finalize immediately; a running job hands back its context cancel
+// func to invoke outside the lock.
+func (s *Scheduler) cancelJob(id string) (bool, context.CancelFunc) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
-		s.mu.Unlock()
-		return false
+		return false, nil
 	}
 	switch j.view.State {
 	case JobQueued:
 		s.queue.remove(j)
 		s.finalizeLocked(j, JobCanceled, FailCanceled, nil, context.Canceled)
 		s.reg.Set(telemetry.MSimQueueDepth, float64(s.queue.Len()))
-		s.mu.Unlock()
-		return true
+		return true, nil
 	case JobRetrying:
 		if j.retryTimer != nil {
 			j.retryTimer.Stop()
 			j.retryTimer = nil
 		}
 		s.finalizeLocked(j, JobCanceled, FailCanceled, nil, context.Canceled)
-		s.mu.Unlock()
-		return true
+		return true, nil
 	case JobRunning:
-		cancel := j.cancel
-		s.mu.Unlock()
-		if cancel != nil {
-			cancel()
-		}
-		return true
+		return true, j.cancel
 	}
-	s.mu.Unlock()
-	return false
+	return false, nil
 }
 
 // Wait blocks until the job reaches a terminal state (or ctx fires)
 // and returns its final view.
 func (s *Scheduler) Wait(ctx context.Context, id string) (JobView, error) {
 	for {
-		s.mu.Lock()
-		j, live := s.jobs[id]
-		if !live {
-			if e, ok := s.cache.get(id); ok {
-				s.mu.Unlock()
-				return e.view, nil
-			}
-			if v, ok := s.recent.get(id); ok {
-				s.mu.Unlock()
-				return v, nil
-			}
-			s.mu.Unlock()
-			return JobView{}, ErrUnknownJob
+		v, done, err := s.waitState(id)
+		if done == nil {
+			return v, err
 		}
-		done := j.done
-		s.mu.Unlock()
 		select {
 		case <-done:
 			// Loop to pick the final view out of cache/history.
@@ -548,6 +539,24 @@ func (s *Scheduler) Wait(ctx context.Context, id string) (JobView, error) {
 			return JobView{}, ctx.Err()
 		}
 	}
+}
+
+// waitState snapshots one Wait iteration under the lock: a non-nil
+// done channel means the job is still live; otherwise v/err are final
+// (from the cache, the recent-history ring, or unknown).
+func (s *Scheduler) waitState(id string) (JobView, chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, live := s.jobs[id]; live {
+		return JobView{}, j.done, nil
+	}
+	if e, ok := s.cache.get(id); ok {
+		return e.view, nil, nil
+	}
+	if v, ok := s.recent.get(id); ok {
+		return v, nil, nil
+	}
+	return JobView{}, nil, ErrUnknownJob
 }
 
 // Stats is a point-in-time queue summary.
@@ -678,47 +687,57 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for {
-		s.mu.Lock()
-		for s.queue.Len() == 0 && !s.closed {
-			s.cond.Wait()
-		}
-		if s.queue.Len() == 0 && s.closed {
-			s.mu.Unlock()
+		j, ctx, cancel, sp, ok := s.nextJob()
+		if !ok {
 			return
 		}
-		j := heap.Pop(&s.queue).(*job)
-		j.pos = -1
-		now := time.Now()
-		j.view.State = JobRunning
-		j.view.StartedAt = &now
-		j.view.QueueWaitS = now.Sub(j.view.SubmittedAt).Seconds()
-		if s.store != nil {
-			// A lost start record only means replay re-queues instead of
-			// observing the attempt — safe, so log failures don't stall
-			// the worker.
-			if err := s.store.LogStart(j.view.ID, j.view.Attempt); err != nil {
-				s.reg.Inc(telemetry.MSimWalAppendErrorsTotal)
-			}
-		}
-		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
-		j.cancel = cancel
-		s.busy++
-		s.reg.Set(telemetry.MSimQueueDepth, float64(s.queue.Len()))
-		s.reg.Set(telemetry.MSimWorkersBusy, float64(s.busy))
-		// The job's life splits at dequeue: everything before now is
-		// queue wait, everything after is service. The wait feeds its
-		// histogram here and is reconstructed as a span under the job's
-		// span tree, so trace export (prof.BuildTrace) renders both
-		// phases of a job on one Perfetto track.
-		s.reg.Observe(telemetry.MSimJobQueueWaitSeconds, j.view.QueueWaitS)
-		sp := s.reg.StartSpan("sim_job")
-		sp.Attr("id", j.view.ID).Attr("kind", j.view.Kind)
-		s.reg.RecordSpan("sim_queue_wait", sp.ID(), j.view.SubmittedAt,
-			now.Sub(j.view.SubmittedAt), map[string]any{"id": j.view.ID})
-		s.mu.Unlock()
-
 		s.execute(ctx, cancel, j, sp)
 	}
+}
+
+// nextJob blocks until a job is available (or shutdown drains the
+// queue — then ok is false). It holds the lock for the whole dequeue:
+// pop, mark running, WAL start record, metrics and the job span, so a
+// Snapshot can never observe a popped-but-not-running job.
+func (s *Scheduler) nextJob() (j *job, ctx context.Context, cancel context.CancelFunc, sp *telemetry.Span, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.queue.Len() == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.queue.Len() == 0 && s.closed {
+		return nil, nil, nil, nil, false
+	}
+	j = heap.Pop(&s.queue).(*job)
+	j.pos = -1
+	now := time.Now()
+	j.view.State = JobRunning
+	j.view.StartedAt = &now
+	j.view.QueueWaitS = now.Sub(j.view.SubmittedAt).Seconds()
+	if s.store != nil {
+		// A lost start record only means replay re-queues instead of
+		// observing the attempt — safe, so log failures don't stall
+		// the worker.
+		if err := s.store.LogStart(j.view.ID, j.view.Attempt); err != nil {
+			s.reg.Inc(telemetry.MSimWalAppendErrorsTotal)
+		}
+	}
+	ctx, cancel = context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	j.cancel = cancel
+	s.busy++
+	s.reg.Set(telemetry.MSimQueueDepth, float64(s.queue.Len()))
+	s.reg.Set(telemetry.MSimWorkersBusy, float64(s.busy))
+	// The job's life splits at dequeue: everything before now is
+	// queue wait, everything after is service. The wait feeds its
+	// histogram here and is reconstructed as a span under the job's
+	// span tree, so trace export (prof.BuildTrace) renders both
+	// phases of a job on one Perfetto track.
+	s.reg.Observe(telemetry.MSimJobQueueWaitSeconds, j.view.QueueWaitS)
+	sp = s.reg.StartSpan("sim_job")
+	sp.Attr("id", j.view.ID).Attr("kind", j.view.Kind)
+	s.reg.RecordSpan("sim_queue_wait", sp.ID(), j.view.SubmittedAt,
+		now.Sub(j.view.SubmittedAt), map[string]any{"id": j.view.ID})
+	return j, ctx, cancel, sp, true
 }
 
 // execute runs one job with timeout/cancel semantics: the runner goes

@@ -7,12 +7,15 @@ import (
 	"net/http"
 	"testing"
 	"time"
+
+	"pab/internal/testutil"
 )
 
 // TestDebugServerStopReleasesPort: after stop returns, the address is
 // immediately rebindable and the serve goroutine is gone — the leak
 // the -debug-addr flag used to have.
 func TestDebugServerStopReleasesPort(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	// Grab a free port deterministically.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -56,6 +59,7 @@ func TestDebugServerStopReleasesPort(t *testing.T) {
 }
 
 func TestDebugServerBadAddr(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	if _, err := StartDebugServer("256.256.256.256:99999"); err == nil {
 		t.Fatal("want bind error for a bad address")
 	}

@@ -72,14 +72,10 @@ func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
-	s.mu.Lock()
-	if s.ended {
-		s.mu.Unlock()
+	attrs, first := s.finish()
+	if !first {
 		return 0
 	}
-	s.ended = true
-	attrs := s.attrs
-	s.mu.Unlock()
 
 	d := time.Since(s.start)
 	rec := SpanRecord{
@@ -104,6 +100,18 @@ func (s *Span) End() time.Duration {
 	//pablint:ignore telemetryhygiene span duration histograms derive their name from the span stage name
 	r.Observe(Name("span_"+s.name+"_seconds"), d.Seconds())
 	return d
+}
+
+// finish atomically claims the span's single End: the first caller
+// gets the attrs snapshot and first == true; later calls see false.
+func (s *Span) finish() (map[string]any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return nil, false
+	}
+	s.ended = true
+	return s.attrs, true
 }
 
 // Name returns the span name ("" on nil).

@@ -1,0 +1,67 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckGoroutinesClean: a test that starts and joins its goroutine
+// passes the check.
+func TestCheckGoroutinesClean(t *testing.T) {
+	check := CheckGoroutines(t)
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+	check()
+}
+
+// TestGoroutineStacksSeesSpawn: the snapshot diff machinery actually
+// detects a goroutine created between two snapshots.
+func TestGoroutineStacksSeesSpawn(t *testing.T) {
+	before := goroutineStacks()
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	defer close(stop)
+
+	found := false
+	for id, stack := range goroutineStacks() {
+		if _, existed := before[id]; existed {
+			continue
+		}
+		if strings.Contains(stack, "TestGoroutineStacksSeesSpawn") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("snapshot diff did not surface the spawned goroutine")
+	}
+}
+
+// TestCheckGoroutinesGracePeriod: a goroutine still draining when the
+// check starts but gone within the grace window does not fail.
+func TestCheckGoroutinesGracePeriod(t *testing.T) {
+	check := CheckGoroutines(t)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+	}()
+	check()
+}
+
+// TestAllowedPatterns: the allowlist matches on stack substrings.
+func TestAllowedPatterns(t *testing.T) {
+	stack := "goroutine 9 [select]:\nnet/http.(*Server).Serve(...)"
+	if !allowed(stack, []string{"net/http.(*Server)"}) {
+		t.Error("explicit pattern should match")
+	}
+	if allowed(stack, []string{"database/sql."}) {
+		t.Error("unrelated pattern should not match")
+	}
+}

@@ -451,18 +451,10 @@ func (l *Log) flushLoop() {
 // segment tolerates a torn tail, which Open has normally already
 // truncated. An fn error aborts the replay and is returned.
 func (l *Log) Replay(fn func(payload []byte) error) error {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return ErrClosed
+	segs, activeIdx, err := l.replaySnapshot()
+	if err != nil {
+		return err
 	}
-	// Snapshot the segment set; reads go through separate descriptors,
-	// so appends racing the replay only ever add records past the
-	// snapshot of the active segment (callers replay before serving).
-	segs := append([]uint64(nil), l.sealed...)
-	activeIdx := l.activeIdx
-	l.mu.Unlock()
-
 	for _, idx := range segs {
 		_, n, torn, err := scanSegment(filepath.Join(l.opt.Dir, segmentName(idx)), fn)
 		if err != nil {
@@ -479,6 +471,19 @@ func (l *Log) Replay(fn func(payload []byte) error) error {
 	}
 	l.noteReplayed(n)
 	return nil
+}
+
+// replaySnapshot captures the segment set under the lock. Reads go
+// through separate descriptors, so appends racing the replay only ever
+// add records past the snapshot of the active segment (callers replay
+// before serving).
+func (l *Log) replaySnapshot() ([]uint64, uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, 0, ErrClosed
+	}
+	return append([]uint64(nil), l.sealed...), l.activeIdx, nil
 }
 
 func (l *Log) noteReplayed(n int) {
@@ -586,21 +591,27 @@ func (l *Log) publishSize() {
 
 // Close syncs and closes the log.
 func (l *Log) Close() error {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return nil
-	}
-	err := l.syncLocked()
-	if cerr := l.active.Close(); err == nil {
-		err = cerr
-	}
-	l.closed = true
-	flushStop, flushDone := l.flushStop, l.flushDone
-	l.mu.Unlock()
+	flushStop, flushDone, err := l.closeLog()
 	if flushStop != nil {
 		close(flushStop)
 		<-flushDone
 	}
 	return err
+}
+
+// closeLog is the locked portion of Close; it hands the flusher
+// channels back so the stop/join happens outside the lock (the
+// flusher's tick path takes l.mu itself).
+func (l *Log) closeLog() (flushStop, flushDone chan struct{}, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, nil, nil
+	}
+	err = l.syncLocked()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return l.flushStop, l.flushDone, err
 }
