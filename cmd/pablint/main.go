@@ -1,8 +1,10 @@
 // Command pablint runs the PAB domain lint suite (internal/lint) over
-// the module: determinism, floatcmp, unitsafety, telemetryhygiene,
-// errdiscard, plus the flow-sensitive rules dimflow, seedflow and
-// nanguard — the invariants the paper's reproducibility claims rest
-// on, encoded as machine-checked rules.
+// the module: the syntactic tier (determinism, floatcmp, unitsafety,
+// telemetryhygiene, errdiscard), the flow tier (dimflow, seedflow,
+// nanguard), the concurrency tier (lockdiscipline, goroleak,
+// chanproto) and the hot-path performance tier (allocloop, boxiface,
+// invhoist) — the invariants the paper's reproducibility and
+// throughput claims rest on, encoded as machine-checked rules.
 //
 //	go run ./cmd/pablint ./...            # whole module
 //	go run ./cmd/pablint ./internal/...   # one subtree
@@ -61,7 +63,13 @@ func realMain() int {
 	analyzers := lint.Analyzers(cfg)
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-18s %-12s %s\n", a.Name, a.Tier, a.Doc)
+			targets := cfg.TargetsFor(a.Name)
+			if targets == nil {
+				fmt.Printf("%-18s %-12s targets: module-wide\n", "", "")
+				continue
+			}
+			fmt.Printf("%-18s %-12s targets: %s\n", "", "", strings.Join(targets, ", "))
 		}
 		return exitClean
 	}
@@ -139,7 +147,11 @@ func realMain() int {
 	}
 
 	// Human-readable findings: stdout normally, stderr under -json so
-	// the report alone occupies stdout.
+	// the report alone occupies stdout. Two rules reaching different
+	// conclusions about one position print as one line each, but one
+	// rule firing twice at a position (e.g. through two analysis paths)
+	// is a single diagnostic.
+	failing = lint.DedupeByPosRule(failing)
 	text := os.Stdout
 	if *jsonOut {
 		text = os.Stderr

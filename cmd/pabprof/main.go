@@ -16,9 +16,12 @@
 //
 // In -check mode the fresh measurement is compared against the given
 // baseline: every baseline stage must still report invocations and
-// samples, and no stage's p50 may regress more than -max-regress×
+// samples, no stage's p50 may regress more than -max-regress×
 // (durations under -floor-ms are floored first so sub-noise stages
-// cannot trip the gate). Violations go to stderr and the exit code is 1.
+// cannot trip the gate), and no stage's alloc_bytes_per_op may regress
+// more than -max-alloc-regress× (values under 4 KiB are floored so
+// allocator noise cannot trip it; 0 disables the gate). Violations go
+// to stderr and the exit code is 1.
 package main
 
 import (
@@ -53,6 +56,7 @@ func realMain() int {
 	check := flag.String("check", "", "baseline BENCH_decode.json to gate against (exit 1 on regression)")
 	maxRegress := flag.Float64("max-regress", 2, "max allowed per-stage p50 regression factor in -check mode")
 	floorMS := flag.Float64("floor-ms", 0.05, "floor (ms) applied to p50s before the regression ratio")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 1.5, "max allowed per-stage alloc_bytes_per_op regression factor in -check mode (0 disables the gate)")
 	var tf cli.TelemetryFlags
 	tf.Register()
 	flag.Parse()
@@ -63,14 +67,14 @@ func realMain() int {
 		return code
 	}
 	code := cli.ExitOK
-	if err := run(*out, *check, *runs, *warmup, *bitrate, *maxRegress, *floorMS); err != nil {
+	if err := run(*out, *check, *runs, *warmup, *bitrate, *maxRegress, *floorMS, *maxAllocRegress); err != nil {
 		fmt.Fprintf(os.Stderr, "pabprof: %v\n", err)
 		code = cli.ExitRuntime
 	}
 	return tf.Finish("pabprof", code)
 }
 
-func run(out, check string, runs, warmup int, bitrate, maxRegress, floorMS float64) error {
+func run(out, check string, runs, warmup int, bitrate, maxRegress, floorMS, maxAllocRegress float64) error {
 	telemetry.SetEnabled(true)
 
 	// Synthesise the workload: one powered exchange, keeping the
@@ -176,13 +180,13 @@ func run(out, check string, runs, warmup int, bitrate, maxRegress, floorMS float
 		if err != nil {
 			return fmt.Errorf("baseline: %w", err)
 		}
-		if problems := rep.CheckAgainst(base, maxRegress, floorMS); len(problems) > 0 {
+		if problems := rep.CheckAgainst(base, maxRegress, floorMS, maxAllocRegress); len(problems) > 0 {
 			for _, p := range problems {
 				fmt.Fprintf(os.Stderr, "pabprof: REGRESSION: %s\n", p)
 			}
 			return fmt.Errorf("%d regression(s) vs %s", len(problems), check)
 		}
-		fmt.Printf("ok vs %s (budget %.1fx)\n", check, maxRegress)
+		fmt.Printf("ok vs %s (budget %.1fx latency, %.1fx alloc)\n", check, maxRegress, maxAllocRegress)
 	}
 	return nil
 }

@@ -187,12 +187,13 @@ func (nc NoiseConditions) BandNoiseLevel(f1Hz, f2Hz float64) (units.DB, error) {
 		return 0, fmt.Errorf("acoustics: invalid band [%g, %g]", f1Hz, f2Hz)
 	}
 	const steps = 64
-	logStep := (math.Log(f2Hz) - math.Log(f1Hz)) / steps
+	logF1 := math.Log(f1Hz)
+	logStep := (math.Log(f2Hz) - logF1) / steps
 	total := 0.0
 	prevF := f1Hz
 	prevP := units.DBToPower(nc.SpectralDensity(f1Hz))
 	for i := 1; i <= steps; i++ {
-		f := math.Exp(math.Log(f1Hz) + logStep*float64(i))
+		f := math.Exp(logF1 + logStep*float64(i))
 		p := units.DBToPower(nc.SpectralDensity(f))
 		total += (prevP + p) / 2 * (f - prevF)
 		prevF, prevP = f, p

@@ -172,7 +172,9 @@ func (t Tank) Response(src, dst Vec3, fs float64, opt Options) (*ImpulseResponse
 	directGain := t.pathGain(direct, opt.CarrierHz)
 	floor := math.Abs(directGain) * minGain
 
-	var taps []Tap
+	// Typical surviving tap counts are small (the gain floor prunes most
+	// images); growth beyond the estimate is amortised.
+	taps := make([]Tap, 0, 64)
 	images := 0
 	n := opt.MaxOrder
 	for nx := -n; nx <= n; nx++ {
@@ -338,8 +340,9 @@ func (ir *ImpulseResponse) ApplyTimeVarying(x []float64, motion SurfaceMotion, s
 			continue
 		}
 		wobble := 2 * motion.AmplitudeM * float64(tap.SurfaceBounces) / soundSpeed
+		invFs := 1 / ir.SampleRate
 		for i, v := range x {
-			t := float64(i) / ir.SampleRate
+			t := float64(i) * invFs
 			d := (tap.DelaySeconds + wobble*math.Sin(w*t+motion.PhaseRad)) * ir.SampleRate
 			i0 := int(math.Floor(d))
 			frac := d - float64(i0)

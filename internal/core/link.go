@@ -417,13 +417,14 @@ var berBuckets = []float64{0, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.5}
 // sample-level exchange using 10 ms envelope blocks.
 func (l *Link) trackHarvest(pNode []float64, nSamples int) {
 	block := int(0.01 * l.cfg.SampleRate)
+	invFs := 1 / l.cfg.SampleRate
 	for start := 0; start < nSamples && start < len(pNode); start += block {
 		end := start + block
 		if end > len(pNode) {
 			end = len(pNode)
 		}
 		amp := dsp.RMS(pNode[start:end]) * math.Sqrt2
-		l.node.HarvestStep(amp, l.cfg.CarrierHz, l.rhoC, float64(end-start)/l.cfg.SampleRate)
+		l.node.HarvestStep(amp, l.cfg.CarrierHz, l.rhoC, float64(end-start)*invFs)
 		if l.node.State() == node.Off {
 			return
 		}

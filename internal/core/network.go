@@ -170,12 +170,14 @@ func RunConcurrent(cfg ConcurrentConfig, nodes [2]*node.Node, proj *projector.Pr
 	trainWave := fm0.EncodeTemplate(phy.PreambleBits)
 	schedules := [2][]float64{}
 	for k := 0; k < 2; k++ {
+		//pablint:ignore allocloop per-node payload bits are retained in the result; two iterations of setup code
 		bits := make([]phy.Bit, cfg.PayloadBits)
 		for i := range bits {
 			bits[i] = phy.Bit(rng.Intn(2))
 		}
 		res.PayloadBits[k] = bits
 		payload, _ := fm0.Encode(bits, 1)
+		//pablint:ignore allocloop per-node schedule is retained across the simulation; two iterations of setup code
 		sched := make([]float64, total)
 		// -1 (absorptive) everywhere except own training and payload.
 		for i := range sched {
@@ -191,6 +193,7 @@ func RunConcurrent(cfg ConcurrentConfig, nodes [2]*node.Node, proj *projector.Pr
 	// Physical reflection: per node, per tone (backscatter is
 	// frequency-agnostic but with frequency-dependent depth).
 	y := irPH.Apply(x)
+	reflected := make([]float64, total) // reused across nodes; fully rewritten each pass
 	for k := 0; k < 2; k++ {
 		fe := nodes[k].FrontEnd()
 		aTone1 := dsp.AnalyticSignal(irPN[k].Apply(x1))
@@ -205,7 +208,6 @@ func RunConcurrent(cfg ConcurrentConfig, nodes [2]*node.Node, proj *projector.Pr
 		alpha := complex(1-math.Exp(-1/(tau*fs)), 0)
 		g1 := gains[0][0]
 		g2 := gains[1][0]
-		reflected := make([]float64, total)
 		for i := 0; i < total; i++ {
 			state := 0
 			if schedules[k][i] > 0 {
@@ -217,6 +219,7 @@ func RunConcurrent(cfg ConcurrentConfig, nodes [2]*node.Node, proj *projector.Pr
 		}
 		scat := irNH[k].Apply(reflected)
 		if len(scat) > len(y) {
+			//pablint:ignore allocloop grow-once to the longest scatter tail, at most twice over the whole simulation
 			y = append(y, make([]float64, len(scat)-len(y))...)
 		}
 		dsp.Add(y, scat)

@@ -370,20 +370,34 @@ func (r *Receiver) decodeAt(bb []complex128, env []float64, sync phy.Sync, fm0 *
 	if endIdx > len(bb) {
 		endIdx = len(bb)
 	}
-	refined := projectAxis(bb, estimateAxis(bb[sync.Index:endIdx]))
-	snr := 0.0
 	span := fm0.SamplesPerBit / 4
 	step := fm0.SamplesPerBit / 16
 	if step < 1 {
 		step = 1
 	}
-	for _, wave := range [][]float64{env, refined} {
+	// Project only the packet window (± the alignment span): the SNR
+	// search never reads outside it, and projecting the whole recording
+	// allocated len(bb) floats per decode.
+	winLo := sync.Index - span
+	if winLo < 0 {
+		winLo = 0
+	}
+	winHi := endIdx + span
+	if winHi > len(bb) {
+		winHi = len(bb)
+	}
+	refined := projectAxis(bb[winLo:winHi], estimateAxis(bb[sync.Index:endIdx]))
+	snr := 0.0
+	for _, w := range [...]struct {
+		wave []float64
+		base int // index of wave[0] in recording coordinates
+	}{{env, 0}, {refined, winLo}} {
 		for off := -span; off <= span; off += step {
-			idx := sync.Index + off
-			if idx < 0 || idx >= len(wave) {
+			idx := sync.Index + off - w.base
+			if idx < 0 || idx >= len(w.wave) {
 				continue
 			}
-			if s := phy.MeasureSNR(wave[idx:], allBits, fm0); s > snr {
+			if s := phy.MeasureSNR(w.wave[idx:], allBits, fm0); s > snr {
 				snr = s
 			}
 		}
@@ -496,7 +510,7 @@ func (r *Receiver) detectRefinedAll(bb []complex128, fm0 *phy.FM0) ([]refinedLoc
 		firstThresh = 0.3
 	}
 	preambleLen := len(phy.PreambleBits) * fm0.SamplesPerBit
-	var cands []phy.Sync
+	cands := make([]phy.Sync, 0, 16) // two projections × maxK=8 below
 	for _, a := range []modAxis{axis, axisQ} {
 		coarse := projectAxis(bb, a)
 		cs, err := phy.DetectPacketCandidates(coarse, fm0, firstThresh, 8, preambleLen)
@@ -508,7 +522,7 @@ func (r *Receiver) detectRefinedAll(bb []complex128, fm0 *phy.FM0) ([]refinedLoc
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("core: no preamble candidates on either projection")
 	}
-	var out []refinedLock
+	out := make([]refinedLock, 0, len(cands))
 	for _, cand := range cands {
 		end := cand.Index + preambleLen
 		if end > len(bb) {
@@ -550,6 +564,7 @@ func (r *Receiver) detectRefinedAll(bb []complex128, fm0 *phy.FM0) ([]refinedLoc
 			}
 		}
 		if !seen {
+			//pablint:ignore allocloop dedup reslices out's backing array (cap ≥ len(out) bounds every append); no reallocation possible
 			dedup = append(dedup, c)
 		}
 	}

@@ -213,7 +213,9 @@ func FindPeaks(x []float64, fs float64, maxPeaks int, minSeparation, minPower fl
 		bin int
 		pow float64
 	}
-	var cands []cand
+	// Candidate counts are data-dependent (every local maximum above the
+	// power floor); start from a modest capacity and let growth amortise.
+	cands := make([]cand, 0, 32)
 	for k := 1; k < len(ps)-1; k++ {
 		if ps[k] >= ps[k-1] && ps[k] >= ps[k+1] && ps[k] >= minPower {
 			cands = append(cands, cand{k, ps[k]})
@@ -221,7 +223,7 @@ func FindPeaks(x []float64, fs float64, maxPeaks int, minSeparation, minPower fl
 	}
 	// Selection sort of the strongest candidates with separation control;
 	// candidate counts are small (spectral maxima only).
-	var peaks []Peak
+	peaks := make([]Peak, 0, maxPeaks)
 	used := make([]bool, len(cands))
 	for len(peaks) < maxPeaks {
 		best, bestIdx := -1.0, -1
@@ -345,7 +347,12 @@ func Spectrogram(x []float64, winLen, hop int) ([][]float64, error) {
 	}
 	win := Hann.Coefficients(winLen)
 	nFrames := (len(x)-winLen)/hop + 1
+	nBins := winLen/2 + 1
 	out := make([][]float64, nFrames)
+	// One flat backing array for all rows: a per-frame make turned the
+	// frame loop into nFrames allocations and scattered the rows across
+	// the heap.
+	backing := make([]float64, nFrames*nBins)
 	buf := make([]complex128, winLen)
 	for f := 0; f < nFrames; f++ {
 		start := f * hop
@@ -353,7 +360,7 @@ func Spectrogram(x []float64, winLen, hop int) ([][]float64, error) {
 			buf[i] = complex(x[start+i]*win[i], 0)
 		}
 		fftRadix2(buf, false)
-		row := make([]float64, winLen/2+1)
+		row := backing[f*nBins : (f+1)*nBins : (f+1)*nBins]
 		for k := range row {
 			row[k] = cmplx.Abs(buf[k])
 		}

@@ -88,6 +88,7 @@ func (f *IIR) Response(freq, fs float64) complex128 {
 // needed (odd orders).
 func butterworthQs(n int) (qs []float64, firstOrder bool) {
 	pairs := n / 2
+	qs = make([]float64, 0, pairs)
 	for k := 0; k < pairs; k++ {
 		angle := math.Pi * float64(2*k+1) / float64(2*n)
 		qs = append(qs, 1/(2*math.Sin(angle)))
@@ -107,7 +108,7 @@ func DesignButterworthLowpass(cutoff, fs float64, order int) (*IIR, error) {
 	}
 	w0 := 2 * math.Pi * cutoff / fs
 	qs, addFirst := butterworthQs(order)
-	var sections []Biquad
+	sections := make([]Biquad, 0, len(qs)+1)
 	for _, q := range qs {
 		sections = append(sections, rbjLowpass(w0, q))
 	}
@@ -128,7 +129,7 @@ func DesignButterworthHighpass(cutoff, fs float64, order int) (*IIR, error) {
 	}
 	w0 := 2 * math.Pi * cutoff / fs
 	qs, addFirst := butterworthQs(order)
-	var sections []Biquad
+	sections := make([]Biquad, 0, len(qs)+1)
 	for _, q := range qs {
 		sections = append(sections, rbjHighpass(w0, q))
 	}
@@ -165,7 +166,7 @@ func DesignButterworthBandpass(low, high, fs float64, order int) (*IIR, error) {
 
 	// Lowpass→bandpass: each prototype pole p maps to the two roots of
 	// s² − p·bw·s + w0² = 0.
-	var analogPoles []complex128
+	analogPoles := make([]complex128, 0, 2*order)
 	for _, p := range proto {
 		pb := p * complex(bw, 0)
 		disc := cmplx.Sqrt(pb*pb - complex(4*w0*w0, 0))
@@ -189,6 +190,7 @@ func DesignButterworthBandpass(low, high, fs float64, order int) (*IIR, error) {
 	// the digital centre frequency.
 	fCenter := math.Atan(w0/(2*fs)) * fs / math.Pi // digital Hz of analog w0
 	sections := make([]Biquad, 0, len(pairs))
+	sec := IIR{sections: make([]Biquad, 1)} // reused per-section probe
 	for _, pr := range pairs {
 		a1 := -2 * real(pr[0])
 		a2 := real(pr[0] * pr[1])
@@ -196,7 +198,7 @@ func DesignButterworthBandpass(low, high, fs float64, order int) (*IIR, error) {
 			return nil, fmt.Errorf("dsp: bandpass produced complex coefficients")
 		}
 		q := Biquad{B0: 1, B1: 0, B2: -1, A1: a1, A2: a2}
-		sec := IIR{sections: []Biquad{q}}
+		sec.sections[0] = q
 		g := cmplx.Abs(sec.Response(fCenter, fs))
 		if g == 0 {
 			return nil, fmt.Errorf("dsp: degenerate bandpass section")
@@ -216,7 +218,7 @@ func conjugatePairs(poles []complex128) ([][2]complex128, error) {
 	}
 	const tol = 1e-8
 	used := make([]bool, len(poles))
-	var pairs [][2]complex128
+	pairs := make([][2]complex128, 0, len(poles)/2)
 	// First pair complex poles with their conjugates.
 	for i, p := range poles {
 		if used[i] || math.Abs(imag(p)) <= tol {
@@ -239,7 +241,7 @@ func conjugatePairs(poles []complex128) ([][2]complex128, error) {
 		}
 	}
 	// Then pair remaining real poles among themselves.
-	var reals []int
+	reals := make([]int, 0, len(poles))
 	for i := range poles {
 		if !used[i] {
 			reals = append(reals, i)

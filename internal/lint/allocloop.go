@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AllocLoopAnalyzer flags heap allocations inside loops of the
+// hot-path packages (Config.HotPkgs) — the receiver chain decodes at
+// sample rate, so a per-iteration allocation in a sample-scaled loop
+// is multiplied by the recording length on every decode and shows up
+// directly in BENCH_decode.json's alloc_bytes_per_op. Flagged inside
+// any loop (with the message distinguishing sample-scaled loops):
+//
+//   - make/new calls and escaping composite literals;
+//   - append to a slice with no capacity preallocated in the same
+//     function (append into a make(..., cap) buffer is the sanctioned
+//     pattern and stays legal);
+//   - string ↔ []byte conversions (each one copies);
+//   - closure literals (the closure header and its captures are
+//     allocated per iteration);
+//   - fmt.* calls, except in return statements (error exits leave the
+//     loop; per-sample formatting does not).
+//
+// The rule is shape-based, not escape-based: an allocation the
+// compiler proves stack-local is cheap, but the proof is fragile
+// (cmd/pabescape pins it); code on the decode path should not lean on
+// it inside a loop. Amortised allocations (grow-once buffers) are
+// suppressed case by case with a reason.
+func AllocLoopAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "allocloop",
+		Doc:  "forbid per-iteration heap allocations in hot-path loops",
+		Tier: TierHotpath,
+		Run:  runAllocLoop,
+	}
+}
+
+func runAllocLoop(pass *Pass) {
+	forEachHotFunc(pass, func(fn *ast.FuncDecl, loops []*hotLoop) {
+		prealloc := preallocatedSlices(pass, fn)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			loop := innermostLoopFor(loops, expr.Pos())
+			if loop == nil {
+				return true
+			}
+			switch x := expr.(type) {
+			case *ast.CallExpr:
+				reportAllocCall(pass, fn, loop, prealloc, x)
+			case *ast.CompositeLit:
+				// Composite literals whose address is taken, or of
+				// slice/map type, allocate. Arrays/structs used by
+				// value usually stay on the stack: only flag the
+				// reference kinds.
+				switch pass.Pkg.Info.TypeOf(x).Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(x.Pos(), "%s composite literal allocates per iteration of %s in %s; hoist it or preallocate",
+						pass.Pkg.Info.TypeOf(x).String(), loop.kindLabel(), fn.Name.Name)
+				}
+			case *ast.FuncLit:
+				pass.Reportf(x.Pos(), "closure literal inside %s in %s: the closure and its captures allocate per iteration; hoist it out of the loop",
+					loop.kindLabel(), fn.Name.Name)
+				return false // its body was already counted once
+			}
+			return true
+		})
+	})
+}
+
+// reportAllocCall handles the call-shaped allocation sources: make,
+// new, unpreallocated append, string↔[]byte conversions and fmt.*.
+func reportAllocCall(pass *Pass, fn *ast.FuncDecl, loop *hotLoop, prealloc map[types.Object]bool, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make inside %s in %s: allocates per iteration; hoist the buffer out of the loop or reuse a scratch slice",
+					loop.kindLabel(), fn.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new inside %s in %s: allocates per iteration; hoist or reuse",
+					loop.kindLabel(), fn.Name.Name)
+			case "append":
+				if len(call.Args) == 0 {
+					return
+				}
+				root := rootIdent(call.Args[0])
+				if root == nil {
+					return
+				}
+				obj := info.Uses[root]
+				if obj == nil {
+					obj = info.Defs[root]
+				}
+				if obj == nil || prealloc[obj] {
+					return
+				}
+				if _, isParam := paramObjects(info, fn)[obj]; isParam {
+					// The caller owns a parameter's capacity; growing
+					// it here is the caller's contract, not a local
+					// allocation bug.
+					return
+				}
+				pass.Reportf(call.Pos(), "append to %s inside %s in %s without preallocated capacity: grows (reallocates) across iterations; make(..., 0, n) it before the loop",
+					root.Name, loop.kindLabel(), fn.Name.Name)
+			}
+			return
+		}
+	}
+
+	// string([]byte) / []byte(string) conversions copy per iteration.
+	if conv, ok := conversionKind(info, call); ok {
+		pass.Reportf(call.Pos(), "%s conversion inside %s in %s: copies the data per iteration; convert once outside the loop or index the original",
+			conv, loop.kindLabel(), fn.Name.Name)
+		return
+	}
+
+	// fmt.* in per-sample code allocates (boxing + formatting buffers).
+	// A fmt call inside a return statement is an error exit that leaves
+	// the loop; it stays legal.
+	if path, name, ok := pkgFunc(pass.Pkg, call); ok && path == "fmt" {
+		if !inReturnStmt(fn, call) {
+			pass.Reportf(call.Pos(), "fmt.%s inside %s in %s: formats and allocates per iteration; move the formatting out of the hot loop",
+				name, loop.kindLabel(), fn.Name.Name)
+		}
+	}
+}
+
+// conversionKind classifies a call expression that is actually a type
+// conversion between string and []byte (either direction).
+func conversionKind(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return "", false
+	}
+	to := tv.Type.Underlying()
+	from := info.TypeOf(call.Args[0])
+	if from == nil {
+		return "", false
+	}
+	fromU := from.Underlying()
+	if isString(to) && isByteSlice(fromU) {
+		return "string([]byte)", true
+	}
+	if isByteSlice(to) && isString(fromU) {
+		return "[]byte(string)", true
+	}
+	return "", false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && e.Kind() == types.Byte
+}
+
+// preallocatedSlices returns the local slice objects of fn that were
+// created with an explicit capacity (make with 3 args, or make with a
+// non-trivial length that append never outgrows is the caller's
+// judgment — only the 3-arg form counts) anywhere in the function.
+func preallocatedSlices(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	info := pass.Pkg.Info
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+				continue
+			}
+			if len(call.Args) < 3 {
+				continue
+			}
+			if obj := lhsObject(info, assign.Lhs[i]); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// paramObjects returns the parameter and receiver objects of fn.
+func paramObjects(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	addList(fn.Recv)
+	addList(fn.Type.Params)
+	return out
+}
+
+// inReturnStmt reports whether call appears inside a return statement
+// of fn.
+func inReturnStmt(fn *ast.FuncDecl, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret.Pos() <= call.Pos() && call.End() <= ret.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

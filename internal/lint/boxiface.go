@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BoxIfaceAnalyzer flags the hidden-cost constructs inside hot-path
+// loops (Config.HotPkgs) that do not look like allocations but are:
+//
+//   - interface boxing: passing a concrete value where an interface
+//     (any, error, io.Writer, …) is expected heap-allocates the box
+//     for any non-pointer-shaped value, per iteration;
+//   - telemetry/profiling calls: every Inc/Observe/Attr is cheap once
+//     per decode and ruinous once per sample — counters belong at the
+//     loop boundary, observed in bulk (telemetry.Add(n));
+//   - defer inside a loop: defers pile up until function exit — the
+//     classic unbounded-memory shape — and each defer header
+//     allocates.
+//
+// The boxing check intentionally skips call sites that allocloop
+// already owns (fmt.*), and skips boxing in return statements (error
+// exits leave the loop).
+func BoxIfaceAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "boxiface",
+		Doc:  "forbid interface boxing, telemetry calls and defer in hot-path loops",
+		Tier: TierHotpath,
+		Run:  runBoxIface,
+	}
+}
+
+func runBoxIface(pass *Pass) {
+	forEachHotFunc(pass, func(fn *ast.FuncDecl, loops []*hotLoop) {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			loop := innermostLoopFor(loops, n.Pos())
+			if loop == nil {
+				return true
+			}
+			switch x := n.(type) {
+			case *ast.DeferStmt:
+				pass.Reportf(x.Pos(), "defer inside %s in %s: defers accumulate until function exit and each one allocates; restructure so the cleanup runs per iteration or hoist it",
+					loop.kindLabel(), fn.Name.Name)
+			case *ast.CallExpr:
+				if path, name, ok := pkgFunc(pass.Pkg, x); ok {
+					if path == pass.Cfg.TelemetryPkg || path == pass.Cfg.ProfPkg {
+						pass.Reportf(x.Pos(), "%s call (%s) inside %s in %s: metrics belong at the loop boundary — count in a local and record once in bulk",
+							shortPath(path), name, loop.kindLabel(), fn.Name.Name)
+						return true
+					}
+					if path == "fmt" {
+						return true // allocloop owns fmt-in-loop
+					}
+				}
+				reportBoxedArgs(pass, fn, loop, x)
+			}
+			return true
+		})
+	})
+}
+
+// reportBoxedArgs flags concrete → interface conversions at call
+// arguments inside a hot loop.
+func reportBoxedArgs(pass *Pass, fn *ast.FuncDecl, loop *hotLoop, callExpr *ast.CallExpr) {
+	info := pass.Pkg.Info
+	sig := callSignature(info, callExpr)
+	if sig == nil {
+		return
+	}
+	if inReturnStmt(fn, callExpr) {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range callExpr.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		iface, ok := pt.Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if _, isIface := at.Underlying().(*types.Interface); isIface {
+			continue // interface → interface: no new box
+		}
+		if isPointerShaped(at) {
+			continue // pointers box without allocating
+		}
+		if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+			continue // constants box once, interned by the compiler
+		}
+		ifaceName := "interface"
+		if iface.Empty() {
+			ifaceName = "any"
+		}
+		pass.Reportf(arg.Pos(), "%s value boxed into %s parameter inside %s in %s: allocates per iteration; hoist the conversion or use a concrete-typed API",
+			at.String(), ifaceName, loop.kindLabel(), fn.Name.Name)
+	}
+}
+
+// callSignature resolves the *types.Signature of a call, nil for type
+// conversions and builtins.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// isPointerShaped reports whether values of t fit in an interface word
+// without allocating (pointers, maps, channels, funcs, unsafe
+// pointers).
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// shortPath returns the last path element for diagnostics.
+func shortPath(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

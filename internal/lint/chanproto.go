@@ -32,6 +32,7 @@ func ChanProtoAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "chanproto",
 		Doc:  "channel close ownership, send-after-close, cancellation cases in loops, direction-typed parameters",
+		Tier: TierConcurrency,
 		Run:  runChanProto,
 	}
 }

@@ -21,6 +21,7 @@ func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
 		Doc:  "forbid wall-clock, global math/rand and map-order-dependent results in deterministic packages",
+		Tier: TierSyntactic,
 		Run:  runDeterminism,
 	}
 }

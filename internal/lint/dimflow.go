@@ -35,6 +35,7 @@ func DimFlowAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "dimflow",
 		Doc:  "flow-sensitive physical-dimension checking: unit-mixing arithmetic, dB/linear confusion, double conversions",
+		Tier: TierFlow,
 		Run:  runDimFlow,
 	}
 }

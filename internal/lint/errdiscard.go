@@ -19,6 +19,7 @@ func ErrDiscardAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "errdiscard",
 		Doc:  "forbid discarded error returns in the decode/MAC hot path",
+		Tier: TierSyntactic,
 		Run:  runErrDiscard,
 	}
 }

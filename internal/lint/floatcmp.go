@@ -26,6 +26,7 @@ func FloatCmpAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "floatcmp",
 		Doc:  "forbid raw ==/!= on floating-point operands outside approved epsilon helpers",
+		Tier: TierSyntactic,
 		Run:  runFloatCmp,
 	}
 }

@@ -35,6 +35,7 @@ func GoroLeakAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "goroleak",
 		Doc:  "every spawned goroutine needs a provable termination path and a receivable result",
+		Tier: TierConcurrency,
 		Run:  runGoroLeak,
 	}
 }

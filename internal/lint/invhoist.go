@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// InvHoistAnalyzer flags loop-invariant recomputation inside hot-path
+// loops (Config.HotPkgs) — work whose result is identical on every
+// iteration and should be hoisted above the loop or precomputed into a
+// table (the Gold-code / FIR-kernel precompute direction of the
+// ROADMAP's raw-speed campaign):
+//
+//   - transcendental math calls (math.Sin, Cos, Exp, Log, Pow, Sqrt,
+//     …) whose arguments are loop-invariant: tens of nanoseconds per
+//     call, per sample;
+//   - floating-point division by a loop-invariant, non-constant
+//     divisor inside a *sample-scaled* loop: divides cost several
+//     multiplies; precompute the reciprocal once (only sample-scaled
+//     loops are flagged — in a bounded loop the win is noise);
+//   - map loads with loop-invariant operands repeated two or more
+//     times in one loop body: each load re-hashes the key.
+//
+// Loop invariance is syntactic and conservative: an expression is
+// invariant when it references no variable assigned inside the loop
+// (including address-taken ones) and contains no calls other than
+// len/cap — see loopInvariant in hotpath.go.
+func InvHoistAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "invhoist",
+		Doc:  "hoist loop-invariant math calls, divisions and repeated map loads out of hot loops",
+		Tier: TierHotpath,
+		Run:  runInvHoist,
+	}
+}
+
+// hoistableMath is the transcendental/expensive subset of math.*:
+// pure, deterministic, and costly enough that re-evaluating an
+// invariant call per sample is a real loss.
+var hoistableMath = map[string]bool{
+	"Sin": true, "Cos": true, "Tan": true,
+	"Asin": true, "Acos": true, "Atan": true, "Atan2": true,
+	"Sinh": true, "Cosh": true, "Tanh": true,
+	"Exp": true, "Exp2": true, "Expm1": true,
+	"Log": true, "Log2": true, "Log10": true, "Log1p": true,
+	"Pow": true, "Sqrt": true, "Cbrt": true, "Hypot": true,
+	"Mod": true, "Remainder": true,
+}
+
+func runInvHoist(pass *Pass) {
+	forEachHotFunc(pass, func(fn *ast.FuncDecl, loops []*hotLoop) {
+		info := pass.Pkg.Info
+		for _, loop := range loops {
+			reportRepeatedMapLoads(pass, fn, loops, loop)
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			loop := innermostLoopFor(loops, expr.Pos())
+			if loop == nil {
+				return true
+			}
+			switch x := expr.(type) {
+			case *ast.CallExpr:
+				path, name, ok := pkgFunc(pass.Pkg, x)
+				if !ok || path != "math" || !hoistableMath[name] {
+					return true
+				}
+				if !argsInvariant(info, loop, x.Args) {
+					return true
+				}
+				pass.Reportf(x.Pos(), "loop-invariant math.%s call inside %s in %s: same result every iteration; hoist it above the loop or precompute a table",
+					name, loop.kindLabel(), fn.Name.Name)
+			case *ast.BinaryExpr:
+				if x.Op != token.QUO || !loop.sampleScaled {
+					return true
+				}
+				if !isFloat(info.TypeOf(x)) {
+					return true
+				}
+				// A constant divisor folds to a multiply already; only
+				// a variable invariant divisor pays per iteration.
+				if tv, ok := info.Types[x.Y]; ok && tv.Value != nil {
+					return true
+				}
+				if !loopInvariant(info, loop, x.Y) || loopInvariant(info, loop, x.X) {
+					return true
+				}
+				pass.Reportf(x.Pos(), "division by loop-invariant %s inside %s in %s: divides cost several multiplies; precompute the reciprocal once and multiply",
+					exprText(x.Y), loop.kindLabel(), fn.Name.Name)
+			}
+			return true
+		})
+	})
+}
+
+// argsInvariant reports whether every argument is loop-invariant (and
+// there is at least one argument — a niladic call is config, not
+// computation).
+func argsInvariant(info *types.Info, loop *hotLoop, args []ast.Expr) bool {
+	if len(args) == 0 {
+		return false
+	}
+	for _, a := range args {
+		if !loopInvariant(info, loop, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// reportRepeatedMapLoads flags invariant map index expressions that
+// occur two or more times inside one loop body: each occurrence
+// re-hashes the key.
+func reportRepeatedMapLoads(pass *Pass, fn *ast.FuncDecl, loops []*hotLoop, loop *hotLoop) {
+	info := pass.Pkg.Info
+	type site struct {
+		first token.Pos
+		count int
+	}
+	seen := make(map[string]*site)
+	ast.Inspect(loop.body, func(n ast.Node) bool {
+		idx, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		// Only direct loads in this loop body, not in a nested loop
+		// (the nested loop reports its own).
+		if innermostLoopFor(loops, idx.Pos()) != loop {
+			return true
+		}
+		if _, isMap := info.TypeOf(idx.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if !loopInvariant(info, loop, idx) {
+			return true
+		}
+		key := exprText(idx)
+		s := seen[key]
+		if s == nil {
+			seen[key] = &site{first: idx.Pos(), count: 1}
+			return true
+		}
+		s.count++
+		return true
+	})
+	for key, s := range seen {
+		if s.count >= 2 {
+			pass.Reportf(s.first, "map load %s repeated %d times with loop-invariant operands inside %s in %s: each load re-hashes the key; load once into a local",
+				key, s.count, loop.kindLabel(), fn.Name.Name)
+		}
+	}
+}
+
+// isFloat reports whether t is a floating-point (or complex) type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// exprText renders a small expression for diagnostics without a
+// printer dependency: identifiers and selector/index chains come out
+// verbatim, anything else as a placeholder.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[" + exprText(x.Index) + "]"
+	case *ast.ParenExpr:
+		return "(" + exprText(x.X) + ")"
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "(…)"
+	case *ast.BinaryExpr:
+		return exprText(x.X) + " " + x.Op.String() + " " + exprText(x.Y)
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprText(x.X)
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	}
+	return "expression"
+}

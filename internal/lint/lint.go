@@ -94,10 +94,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Tier labels for Analyzer.Tier — the four families the suite grew in
+// (PRs 3, 4, 8, 9), in the order `pablint -list` prints them.
+const (
+	TierSyntactic   = "syntactic"
+	TierFlow        = "flow"
+	TierConcurrency = "concurrency"
+	TierHotpath     = "hotpath"
+)
+
 // Analyzer is one named rule.
 type Analyzer struct {
 	Name string
 	Doc  string
+	// Tier groups the rule into one of the suite's analysis families
+	// (Tier* constants); `pablint -list` and CI tier selection key on
+	// it.
+	Tier string
 	Run  func(*Pass)
 }
 
@@ -150,6 +163,14 @@ type Config struct {
 	// (lockdiscipline, goroleak, chanproto) — the service layer, where
 	// mutexes, goroutines and channels live.
 	ConcurrencyPkgs []string
+	// HotPkgs are import paths subject to the hot-path performance
+	// rules (allocloop, boxiface, invhoist) — the sample-rate decode
+	// chain, where per-iteration costs multiply by the recording
+	// length.
+	HotPkgs []string
+	// ProfPkg is the import path of the stage profiler; its calls are
+	// telemetry for the boxiface rule.
+	ProfPkg string
 }
 
 // DefaultConfig returns the configuration for the pab module itself.
@@ -212,7 +233,35 @@ func DefaultConfig() *Config {
 			"pab/cmd/pabd",
 			"pab/cmd/pabcrash",
 		},
+		HotPkgs: []string{
+			"pab/internal/dsp",
+			"pab/internal/phy",
+			"pab/internal/channel",
+			"pab/internal/core",
+			"pab/internal/acoustics",
+		},
+		ProfPkg: "pab/internal/prof",
 	}
+}
+
+// TargetsFor returns the config package set a rule runs over, for
+// `pablint -list`. Rules without a configured scope run module-wide.
+func (cfg *Config) TargetsFor(rule string) []string {
+	switch rule {
+	case "determinism", "seedflow":
+		return cfg.DeterministicPkgs
+	case "unitsafety":
+		return cfg.PhysicsPkgs
+	case "errdiscard":
+		return cfg.HotPathPkgs
+	case "dimflow", "nanguard":
+		return cfg.FlowPkgs
+	case "lockdiscipline", "goroleak", "chanproto":
+		return cfg.ConcurrencyPkgs
+	case "allocloop", "boxiface", "invhoist":
+		return cfg.HotPkgs
+	}
+	return nil // module-wide
 }
 
 // Analyzers returns the full suite configured by cfg.
@@ -229,6 +278,9 @@ func Analyzers(cfg *Config) []*Analyzer {
 		LockDisciplineAnalyzer(),
 		GoroLeakAnalyzer(),
 		ChanProtoAnalyzer(),
+		AllocLoopAnalyzer(),
+		BoxIfaceAnalyzer(),
+		InvHoistAnalyzer(),
 	}
 }
 
@@ -351,6 +403,32 @@ func dedupeFindings(fs []Finding) []Finding {
 			continue
 		}
 		seen[f.Msg] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// DedupeByPosRule collapses findings sharing (position, rule) to the
+// first occurrence, keeping order. The pipeline-level dedupe keys on
+// (position, message), which lets one rule that reaches the same
+// conclusion through two analysis paths — with two differently-worded
+// messages — print twice; the drivers' text output uses this stricter
+// collapse so each (site, rule) pair is a single diagnostic. fs must be
+// sorted (RunAll/Run output is).
+func DedupeByPosRule(fs []Finding) []Finding {
+	out := make([]Finding, 0, len(fs))
+	seen := make(map[string]bool)
+	var prevFile string
+	var prevLine, prevCol int
+	for _, f := range fs {
+		if f.Pos.Filename != prevFile || f.Pos.Line != prevLine || f.Pos.Column != prevCol {
+			clear(seen)
+			prevFile, prevLine, prevCol = f.Pos.Filename, f.Pos.Line, f.Pos.Column
+		}
+		if seen[f.Rule] {
+			continue
+		}
+		seen[f.Rule] = true
 		out = append(out, f)
 	}
 	return out

@@ -270,6 +270,29 @@ func TestDedupeFindings(t *testing.T) {
 	}
 }
 
+// TestDedupeByPosRule exercises the stricter driver-output collapse:
+// one rule firing twice at a position with different messages is one
+// diagnostic, but distinct rules at the position each keep a line.
+func TestDedupeByPosRule(t *testing.T) {
+	pos := token.Position{Filename: "a.go", Line: 3, Column: 7}
+	fs := []Finding{
+		{Pos: pos, Rule: "allocloop", Msg: "make inside loop"},
+		{Pos: pos, Rule: "allocloop", Msg: "same site, second wording"},
+		{Pos: pos, Rule: "boxiface", Msg: "boxed into any"},
+		{Pos: token.Position{Filename: "a.go", Line: 4, Column: 7}, Rule: "allocloop", Msg: "make inside loop"},
+	}
+	out := DedupeByPosRule(fs)
+	if len(out) != 3 {
+		t.Fatalf("dedupe kept %d findings, want 3: %v", len(out), out)
+	}
+	if out[0].Rule != "allocloop" || out[0].Msg != "make inside loop" {
+		t.Errorf("first finding should survive, got %v", out[0])
+	}
+	if out[1].Rule != "boxiface" {
+		t.Errorf("distinct rule at same position should survive, got %v", out[1])
+	}
+}
+
 // TestJSONReportSchema pins the machine-readable contract: schema
 // version, module-root-relative slash paths, and suppression marking.
 func TestJSONReportSchema(t *testing.T) {
@@ -408,6 +431,28 @@ func BenchmarkLintConcurrency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// A fresh Program rebuilds the cached lock-order graph, matching
 		// a cold pablint run.
+		iterProg := &Program{Pkgs: prog.Pkgs, Loader: prog.Loader}
+		RunAll(iterProg, cfg, analyzers)
+	}
+}
+
+// BenchmarkLintHotpath times just the hot-path tier (allocloop,
+// boxiface, invhoist) over the real module tree; the per-function
+// sample-taint fixpoint is the tier's only superlinear piece, so this
+// isolates its cost from the rest of the suite.
+func BenchmarkLintHotpath(b *testing.B) {
+	prog, cfg, err := loadProgram(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzers := []*Analyzer{
+		AllocLoopAnalyzer(),
+		BoxIfaceAnalyzer(),
+		InvHoistAnalyzer(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh Program matches a cold pablint run.
 		iterProg := &Program{Pkgs: prog.Pkgs, Loader: prog.Loader}
 		RunAll(iterProg, cfg, analyzers)
 	}

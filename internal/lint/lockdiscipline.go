@@ -46,6 +46,7 @@ func LockDisciplineAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "lockdiscipline",
 		Doc:  "inferred guard sets, *Locked call convention, no blocking while locked, defer-less unlock ladders, lock-order inversions",
+		Tier: TierConcurrency,
 		Run:  runLockDiscipline,
 	}
 }

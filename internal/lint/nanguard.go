@@ -32,6 +32,7 @@ func NanGuardAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "nanguard",
 		Doc:  "division/log/sqrt on unguarded external inputs can mint NaN/Inf that poisons whole simulations",
+		Tier: TierFlow,
 		Run:  runNanGuard,
 	}
 }

@@ -36,6 +36,7 @@ func SeedFlowAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "seedflow",
 		Doc:  "deterministic packages must not reach time.Now/global rand through any module-internal call chain",
+		Tier: TierFlow,
 		Run:  runSeedFlow,
 	}
 }

@@ -23,6 +23,7 @@ func TelemetryHygieneAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "telemetryhygiene",
 		Doc:  "metric names must be registered compile-time constants from the telemetry package",
+		Tier: TierSyntactic,
 		Run:  runTelemetryHygiene,
 	}
 }

@@ -18,6 +18,7 @@ func UnitSafetyAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "unitsafety",
 		Doc:  "exported physics functions must not take adjacent swap-prone bare float64 params without unit-bearing names",
+		Tier: TierSyntactic,
 		Run:  runUnitSafety,
 	}
 }

@@ -22,8 +22,11 @@ func WalshCodes(order int) ([][]float64, error) {
 	}
 	n := 1 << uint(order)
 	h := make([][]float64, n)
+	// One flat backing array for the whole matrix: a per-row make is n
+	// allocations and scatters rows across the heap.
+	backing := make([]float64, n*n)
 	for i := range h {
-		h[i] = make([]float64, n)
+		h[i] = backing[i*n : (i+1)*n : (i+1)*n]
 	}
 	h[0][0] = 1
 	for size := 1; size < n; size <<= 1 {

@@ -54,8 +54,11 @@ func GoldCodes(n int) ([][]float64, error) {
 	length := len(u)
 	codes := make([][]float64, 0, length+2)
 	codes = append(codes, u, v)
+	// One flat backing array for all shifted products: a per-shift make
+	// is `length` allocations for one code family.
+	backing := make([]float64, length*length)
 	for shift := 0; shift < length; shift++ {
-		c := make([]float64, length)
+		c := backing[shift*length : (shift+1)*length : (shift+1)*length]
 		for i := range c {
 			c[i] = u[i] * v[(i+shift)%length]
 		}

@@ -30,7 +30,9 @@ func NewPWM(unitSamples int) (*PWM, error) {
 // for bits. A trailing OFF unit terminates the final bit so its falling
 // edge exists.
 func (p *PWM) Encode(bits []Bit) []float64 {
-	var out []float64
+	// Worst case is 3 units per bit (a one: 2 on + 1 off) plus the
+	// terminating OFF unit.
+	out := make([]float64, 0, (3*len(bits)+1)*p.UnitSamples)
 	on := func(units int) {
 		for i := 0; i < units*p.UnitSamples; i++ {
 			out = append(out, 1)
@@ -104,11 +106,11 @@ func (p *PWM) Decode(levels []bool) []Bit {
 	if p.UnitSamples <= 0 {
 		return nil
 	}
-	edges := fallingEdges(levels)
+	edges := fallingEdges(levels, p.UnitSamples)
 	if len(edges) == 0 {
 		return nil
 	}
-	var bits []Bit
+	bits := make([]Bit, 0, len(edges))
 	// The first pulse has no preceding falling edge; measure its width
 	// from its rising edge.
 	if first := firstBitFromRise(levels, edges[0], p.UnitSamples); first >= 0 {
@@ -132,8 +134,10 @@ func (p *PWM) Decode(levels []bool) []Bit {
 }
 
 // fallingEdges returns the indices one past each true→false transition.
-func fallingEdges(levels []bool) []int {
-	var edges []int
+// unit bounds the edge density: a pulse is at least one ON unit plus one
+// OFF unit, so edges are ≥ 2·unit samples apart.
+func fallingEdges(levels []bool, unit int) []int {
+	edges := make([]int, 0, len(levels)/(2*unit)+1)
 	for i := 1; i < len(levels); i++ {
 		if levels[i-1] && !levels[i] {
 			edges = append(edges, i)

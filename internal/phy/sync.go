@@ -73,7 +73,7 @@ func DetectPacketCandidates(wave []float64, m *FM0, threshold float64, maxK, min
 	// FM0's start level is unknown, so the preamble may appear inverted:
 	// search |corr| and recover the polarity from the sign.
 	taken := make([]bool, len(corr))
-	var out []Sync
+	out := make([]Sync, 0, maxK)
 	for k := 0; k < maxK; k++ {
 		bestIdx, bestAbs := -1, threshold
 		for i, v := range corr {
@@ -203,47 +203,59 @@ func MeasureSNR(wave []float64, bits []Bit, m *FM0) float64 {
 		means = append(means, sum/float64(end-start))
 	}
 
-	// Reconstruct the two ideal level assignments and pick the better
-	// (start level unknown).
-	best := math.Inf(-1)
-	for _, start := range []float64{1, -1} {
-		ideal, _ := m.Encode(bits, start)
-		// Ideal level per half-bit.
-		lv := make([]float64, len(means))
-		for h := range lv {
-			lv[h] = ideal[h*half]
+	// Least-squares fit means ≈ a·lv + b against the ideal half-bit
+	// levels, walking the FM0 encoding rule directly (boundary inversion
+	// every bit, mid-bit inversion for data-0) instead of materialising
+	// the ideal waveform — Encode allocated len(bits)·SamplesPerBit
+	// floats per call, which the per-candidate SNR search multiplied
+	// into the decode stage's dominant allocation. The start polarity
+	// does not matter: flipping every level negates the fitted slope a
+	// and leaves the signal estimate a² and the residuals unchanged, so
+	// a single walk from +1 covers both assignments the old code tried.
+	var sumI, sumW, sumIW float64
+	level := 1.0
+	h := 0
+	for _, bit := range bits {
+		level = -level
+		sumI += level
+		sumW += means[h]
+		sumIW += level * means[h]
+		h++
+		if bit == 0 {
+			level = -level
 		}
-		// Least-squares fit means ≈ a·lv + b.
-		var sumI, sumW, sumII, sumIW float64
-		for h := range means {
-			sumI += lv[h]
-			sumW += means[h]
-			sumII += lv[h] * lv[h]
-			sumIW += lv[h] * means[h]
-		}
-		nf := float64(len(means))
-		den := nf*sumII - sumI*sumI
-		if den == 0 {
-			continue
-		}
-		a := (nf*sumIW - sumI*sumW) / den
-		b := (sumW - a*sumI) / nf
-		var noise float64
-		for h := range means {
-			d := means[h] - (a*lv[h] + b)
-			noise += d * d
-		}
-		noise /= nf
-		sig := a * a // squared channel estimate (modulation amplitude)
-		if noise <= 0 {
-			return math.Inf(1)
-		}
-		if snr := sig / noise; snr > best {
-			best = snr
-		}
+		sumI += level
+		sumW += means[h]
+		sumIW += level * means[h]
+		h++
 	}
-	if math.IsInf(best, -1) {
+	nf := float64(len(means))
+	sumII := nf // levels are ±1
+	den := nf*sumII - sumI*sumI
+	if den == 0 {
 		return 0
 	}
-	return best
+	a := (nf*sumIW - sumI*sumW) / den
+	b := (sumW - a*sumI) / nf
+	var noise float64
+	level = 1.0
+	h = 0
+	for _, bit := range bits {
+		level = -level
+		d := means[h] - (a*level + b)
+		noise += d * d
+		h++
+		if bit == 0 {
+			level = -level
+		}
+		d = means[h] - (a*level + b)
+		noise += d * d
+		h++
+	}
+	noise /= nf
+	sig := a * a // squared channel estimate (modulation amplitude)
+	if noise <= 0 {
+		return math.Inf(1)
+	}
+	return sig / noise
 }

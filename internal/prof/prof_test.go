@@ -1,6 +1,7 @@
 package prof
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -158,7 +159,7 @@ func TestBenchReportCheckAgainst(t *testing.T) {
 			"decode": {Count: 10, P50MS: 2.0, TotalSamples: 100},
 		},
 	}
-	if problems := cur.CheckAgainst(base, 2, 0.05); len(problems) != 0 {
+	if problems := cur.CheckAgainst(base, 2, 0.05, 1.5); len(problems) != 0 {
 		t.Fatalf("clean run flagged: %v", problems)
 	}
 	// Regression, missing stage, zero samples, zero decodes.
@@ -167,7 +168,7 @@ func TestBenchReportCheckAgainst(t *testing.T) {
 			"sync": {Count: 10, P50MS: 5.0, TotalSamples: 0},
 		},
 	}
-	problems := bad.CheckAgainst(base, 2, 0.05)
+	problems := bad.CheckAgainst(base, 2, 0.05, 1.5)
 	if len(problems) != 4 {
 		t.Fatalf("want 4 problems (regression, zero samples, missing stage, zero decodes), got %d: %v",
 			len(problems), problems)
@@ -185,7 +186,39 @@ func TestBenchReportCheckAgainst(t *testing.T) {
 		"sync":   {Count: 10, P50MS: 0.001, TotalSamples: 100},
 		"decode": {Count: 10, P50MS: 2.0, TotalSamples: 100},
 	}}
-	if problems := noisy.CheckAgainst(tiny, 2, 0.05); len(problems) != 0 {
+	if problems := noisy.CheckAgainst(tiny, 2, 0.05, 1.5); len(problems) != 0 {
 		t.Fatalf("floored comparison flagged: %v", problems)
+	}
+}
+
+func TestBenchReportAllocGate(t *testing.T) {
+	base := BenchReport{
+		Stages: map[string]StageStats{
+			"decode": {Count: 10, P50MS: 2.0, TotalSamples: 100, AllocBytesPerOp: 100_000},
+			"sync":   {Count: 10, P50MS: 1.0, TotalSamples: 100, AllocBytesPerOp: 1000},
+		},
+	}
+	// decode doubles its per-op allocations: past a 1.5x budget. sync
+	// also doubles, but both sides sit under the 4 KiB floor, so the
+	// allocator-noise clamp keeps it clean.
+	cur := BenchReport{
+		Decoded: 5,
+		Stages: map[string]StageStats{
+			"decode": {Count: 10, P50MS: 2.0, TotalSamples: 100, AllocBytesPerOp: 200_000},
+			"sync":   {Count: 10, P50MS: 1.0, TotalSamples: 100, AllocBytesPerOp: 2000},
+		},
+	}
+	problems := cur.CheckAgainst(base, 2, 0.05, 1.5)
+	if len(problems) != 1 || !strings.Contains(problems[0], "alloc_bytes_per_op") {
+		t.Fatalf("want exactly the decode alloc regression, got %v", problems)
+	}
+	// A zero maxAllocRegress disables the gate (latency-only checks).
+	if problems := cur.CheckAgainst(base, 2, 0.05, 0); len(problems) != 0 {
+		t.Fatalf("disabled alloc gate still flagged: %v", problems)
+	}
+	// Within budget passes.
+	cur.Stages["decode"] = StageStats{Count: 10, P50MS: 2.0, TotalSamples: 100, AllocBytesPerOp: 140_000}
+	if problems := cur.CheckAgainst(base, 2, 0.05, 1.5); len(problems) != 0 {
+		t.Fatalf("within-budget alloc flagged: %v", problems)
 	}
 }

@@ -141,15 +141,25 @@ type BenchReport struct {
 
 // CheckAgainst gates a fresh measurement against a committed baseline
 // (the CI bench-decode-smoke job): every baseline stage must still be
-// present with nonzero invocations and samples, and no stage's p50 may
-// regress more than maxRegress×. Durations under floorMS are floored
-// before the ratio so sub-noise stages cannot trip the gate. Returns
-// one message per violation.
-func (r BenchReport) CheckAgainst(base BenchReport, maxRegress, floorMS float64) []string {
+// present with nonzero invocations and samples, no stage's p50 may
+// regress more than maxRegress×, and — when maxAllocRegress > 0 — no
+// stage's alloc_bytes_per_op may grow more than maxAllocRegress×.
+// Durations under floorMS are floored before the latency ratio so
+// sub-noise stages cannot trip the gate; the allocation ratio floors at
+// 4 KiB per op for the same reason (allocator noise on near-zero
+// stages). Returns one message per violation.
+func (r BenchReport) CheckAgainst(base BenchReport, maxRegress, floorMS, maxAllocRegress float64) []string {
 	var problems []string
 	floor := func(v float64) float64 {
 		if v < floorMS {
 			return floorMS
+		}
+		return v
+	}
+	const allocFloorBytes = 4096
+	floorAlloc := func(v float64) float64 {
+		if v < allocFloorBytes {
+			return allocFloorBytes
 		}
 		return v
 	}
@@ -166,6 +176,13 @@ func (r BenchReport) CheckAgainst(base BenchReport, maxRegress, floorMS float64)
 			problems = append(problems, fmt.Sprintf(
 				"stage %q: p50 regressed %.2fx (%.3fms vs baseline %.3fms, budget %.1fx)",
 				key, ratio, cur.P50MS, bs.P50MS, maxRegress))
+		}
+		if maxAllocRegress > 0 {
+			if ratio := floorAlloc(cur.AllocBytesPerOp) / floorAlloc(bs.AllocBytesPerOp); ratio > maxAllocRegress {
+				problems = append(problems, fmt.Sprintf(
+					"stage %q: alloc_bytes_per_op regressed %.2fx (%.0fB vs baseline %.0fB, budget %.1fx)",
+					key, ratio, cur.AllocBytesPerOp, bs.AllocBytesPerOp, maxAllocRegress))
+			}
 		}
 	}
 	if r.Decoded == 0 {
