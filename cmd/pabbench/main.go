@@ -25,6 +25,15 @@
 // restart replay, and the raw WAL counters. -wal-fsync picks the
 // fsync policy being measured (interval by default; always is the
 // power-loss-safe worst case).
+//
+// -stream switches to the streaming-receiver workload instead: N
+// concurrent synthetic streams through a streamd hub (and again at
+// 2N), reporting streams/sec, per-stream resident bytes, and decode
+// latency percentiles as BENCH_stream.json. -stream-check gates a
+// fresh run against a committed baseline the way pabprof -check does:
+//
+//	pabbench -stream -streams 1000 -out BENCH_stream.json
+//	pabbench -stream -streams 200 -stream-check BENCH_stream.json
 package main
 
 import (
@@ -54,6 +63,10 @@ func realMain() int {
 	service := flag.Duration("service", 20*time.Millisecond, "fixed service time per scheduler-workload job")
 	durable := flag.Bool("wal", false, "also sweep against a WAL-backed durable store and report the overhead")
 	walFsync := flag.String("wal-fsync", "interval", "WAL fsync policy for the durable sweep: always, interval or never")
+	streamMode := flag.Bool("stream", false, "benchmark the streaming receiver hub instead of the scheduler")
+	streams := flag.Int("streams", 1000, "concurrent streams for -stream (also swept at double this)")
+	streamCheck := flag.String("stream-check", "", "baseline BENCH_stream.json to gate against (exit 1 on regression)")
+	streamMaxRegress := flag.Float64("stream-max-regress", 2, "max allowed regression factor in -stream-check mode")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "pabbench: unexpected arguments: %v\n", flag.Args())
@@ -62,6 +75,13 @@ func realMain() int {
 	if *jobs < 1 || *workers < 1 {
 		fmt.Fprintln(os.Stderr, "pabbench: -jobs and -workers must be positive")
 		return cli.Usage()
+	}
+	if *streamMode {
+		if *streams < 1 {
+			fmt.Fprintln(os.Stderr, "pabbench: -streams must be positive")
+			return cli.Usage()
+		}
+		return realStreamMain(*out, *streams, *streamCheck, *streamMaxRegress)
 	}
 	fsync, err := wal.ParseFsyncPolicy(*walFsync)
 	if err != nil {

@@ -1,10 +1,18 @@
-// Command pabdecode runs the PAB offline receiver over a WAV recording —
-// the inverse of pabwave. Together they close the paper's sound-card
-// loop: a hydrophone capture (real or simulated) saved as WAV can be
-// decoded without any other tooling.
+// Command pabdecode runs the PAB receiver over a WAV recording — the
+// inverse of pabwave. Together they close the paper's sound-card loop:
+// a hydrophone capture (real or simulated) saved as WAV can be decoded
+// without any other tooling.
+//
+// The decode runs through the block-based streaming receiver
+// (internal/stream) — the recording is fed chunk by chunk exactly as a
+// live capture would arrive, so a multi-packet recording yields every
+// packet, memory stays bounded by the decode window regardless of
+// recording length, and the tool exercises the same receiver the
+// pabstream daemon serves.
 //
 //	pabwave  -kind exchange -o rec.wav     # simulate and save a capture
 //	pabdecode -i rec.wav -bitrate 500      # find the carrier and decode it
+//	pabdecode -i rec.wav -block 1024       # smaller streaming chunks
 //
 // Like the other pab binaries it accepts -telemetry out.json (JSON
 // snapshot of decoder metrics and decode reports on exit) and
@@ -18,8 +26,8 @@ import (
 
 	"pab/internal/audio"
 	"pab/internal/cli"
-	"pab/internal/core"
 	"pab/internal/node"
+	"pab/internal/stream"
 	"pab/internal/units"
 )
 
@@ -31,13 +39,14 @@ func realMain() int {
 	in := flag.String("i", "", "input WAV (16-bit mono)")
 	bitrate := flag.Float64("bitrate", 500, "backscatter bitrate (bit/s)")
 	carrier := flag.Float64("carrier", 0, "carrier Hz (0 = detect via FFT)")
-	gate := flag.Int("gate", 0, "decode only after this sample (reader's query end)")
+	gate := flag.Int("gate", 0, "decode only after this sample (reader's query end; 0 = from the start)")
+	block := flag.Int("block", 4096, "streaming block size in samples")
 	var tf cli.TelemetryFlags
 	tf.Register()
 	var rf cli.RunFlags
 	rf.Register()
 	flag.Parse()
-	if *in == "" || flag.NArg() > 0 || *bitrate <= 0 || *carrier < 0 || *gate < 0 {
+	if *in == "" || flag.NArg() > 0 || *bitrate <= 0 || *carrier < 0 || *gate < 0 || *block <= 0 {
 		return cli.Usage()
 	}
 	if code := tf.Start("pabdecode"); code != cli.ExitOK {
@@ -46,12 +55,12 @@ func realMain() int {
 	ctx, stop := rf.Context()
 	defer stop()
 	code := cli.Exit("pabdecode", cli.RunWithContext(ctx, func() error {
-		return run(*in, *bitrate, *carrier, *gate)
+		return run(*in, *bitrate, *carrier, *gate, *block)
 	}))
 	return tf.Finish("pabdecode", code)
 }
 
-func run(path string, bitrate, carrier float64, gate int) error {
+func run(path string, bitrate, carrier float64, gate, block int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -62,11 +71,10 @@ func run(path string, bitrate, carrier float64, gate int) error {
 		return err
 	}
 	fmt.Printf("%s: %d samples at %d Hz (%.2f s)\n", path, len(samples), fs, float64(len(samples))/float64(fs))
-
-	recv, err := core.NewReceiver(float64(fs))
-	if err != nil {
-		return err
+	if gate >= len(samples) {
+		return fmt.Errorf("gate %d beyond recording (%d samples)", gate, len(samples))
 	}
+
 	// Nodes emit at clock-divider-quantised rates (32.768 kHz crystal,
 	// paper footnote 13); decode at the rate the divider actually
 	// produces, not the nominal request.
@@ -76,57 +84,48 @@ func run(path string, bitrate, carrier float64, gate int) error {
 		}
 		bitrate = q
 	}
-	// The recording is already in recorder volts; disable the pressure
-	// conversion chain by treating samples as pressure that maps 1:1
-	// through a unity-sensitivity hydrophone.
-	recv.Hydro.Sensitivity = 0 // 0 dB re 1 V/µPa ⇒ ~identity up to scale
-	recv.Hydro.AutoGain = true
 
+	dec, err := stream.NewDecoder(stream.Config{
+		SampleRate: float64(fs),
+		CarrierHz:  carrier,
+		BitrateBps: bitrate,
+		BlockSize:  block,
+	})
+	if err != nil {
+		return err
+	}
+	defer dec.Close()
+
+	// Feed the capture exactly as a live stream would arrive. The
+	// decode window slides past the reader's own downlink keying on
+	// its own, so -gate is an optimisation, not a requirement.
+	frames, err := dec.Write(samples[gate:])
+	if err != nil {
+		return err
+	}
+	flushed, err := dec.Flush()
+	if err != nil {
+		return err
+	}
+	frames = append(frames, flushed...)
+	st := dec.Stats()
 	if carrier == 0 {
-		carriers := recv.FindCarriers(samples, 3)
-		if len(carriers) == 0 {
+		if st.CarrierHz <= 0 {
 			return fmt.Errorf("no carrier found")
 		}
-		carrier = carriers[0]
-		fmt.Printf("detected carrier: %.0f Hz", carrier)
-		if len(carriers) > 1 {
-			fmt.Printf(" (others: %.0f", carriers[1])
-			if len(carriers) > 2 {
-				fmt.Printf(", %.0f", carriers[2])
-			}
-			fmt.Print(")")
+		fmt.Printf("detected carrier: %.0f Hz\n", st.CarrierHz)
+	}
+	if len(frames) == 0 {
+		return fmt.Errorf("no packet decoded (%d attempts over %d blocks)", st.Attempts, st.Blocks)
+	}
+	for _, fr := range frames {
+		fmt.Printf("packet at sample %d (score %.2f), SNR %.1f dB\n",
+			int(fr.Start)+gate, fr.Sync.Score, fr.SNRdB())
+		fmt.Printf("frame: source %#02x seq %d payload % x\n",
+			fr.Frame.Source, fr.Frame.Seq, fr.Frame.Payload)
+		if id, val, perr := node.ParseSensorPayload(fr.Frame.Payload); perr == nil {
+			fmt.Printf("sensor reading: %v = %.2f\n", id, val)
 		}
-		fmt.Println()
-	}
-
-	// Decode, scanning gate offsets when none was given: a raw exchange
-	// capture starts with the reader's own PWM keying, which the offline
-	// decoder must skip (the reader knows its query end; a bystander
-	// has to search).
-	gates := []int{gate}
-	if gate == 0 {
-		for _, frac := range []float64{0, 0.25, 0.4, 0.55, 0.7} {
-			gates = append(gates, int(frac*float64(len(samples))))
-		}
-	}
-	var dec *core.Decoded
-	for _, g := range gates {
-		if d, derr := recv.DecodeUplink(samples, carrier, bitrate, g); derr == nil {
-			dec = d
-			break
-		} else {
-			err = derr
-		}
-	}
-	if dec == nil {
-		return fmt.Errorf("decode: %w", err)
-	}
-	fmt.Printf("packet at sample %d (score %.2f), SNR %.1f dB\n",
-		dec.Sync.Index, dec.Sync.Score, dec.SNRdB())
-	fmt.Printf("frame: source %#02x seq %d payload % x\n",
-		dec.Frame.Source, dec.Frame.Seq, dec.Frame.Payload)
-	if id, val, err := node.ParseSensorPayload(dec.Frame.Payload); err == nil {
-		fmt.Printf("sensor reading: %v = %.2f\n", id, val)
 	}
 	return nil
 }

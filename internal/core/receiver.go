@@ -250,6 +250,26 @@ func (r *Receiver) decodeUplinkStaged(parent *telemetry.Span, pressure []float64
 		spDemod.End()
 		return nil, err
 	}
+	return r.decodeVoltsStaged(parent, spDemod, volts, carrier, bitrate, searchFrom)
+}
+
+// DecodeVolts runs the receive chain on a voltage-domain recording — the
+// signal as it leaves the hydrophone front end, before any mixing. It is
+// DecodeUplink minus the hydrophone stage: demodulate at the carrier,
+// gate to searchFrom, correct CFO, and decode at the given bitrate.
+// Streaming front ends that capture voltages directly (a sound card, a
+// network ingest) enter the batch chain here.
+func (r *Receiver) DecodeVolts(volts []float64, carrier, bitrate float64, searchFrom int) (*Decoded, error) {
+	return r.decodeVoltsStaged(nil, nil, volts, carrier, bitrate, searchFrom)
+}
+
+// decodeVoltsStaged is the voltage-domain chain body. spDemod, when
+// non-nil, is an already-open demod span covering the hydrophone stage;
+// when nil one is opened here. Either way it is closed before sync.
+func (r *Receiver) decodeVoltsStaged(parent, spDemod *telemetry.Span, volts []float64, carrier, bitrate float64, searchFrom int) (*Decoded, error) {
+	if spDemod == nil {
+		spDemod = parent.Child("demod")
+	}
 	bb, err := r.Demodulate(volts, carrier, bitrate)
 	if err != nil {
 		spDemod.End()
@@ -269,6 +289,23 @@ func (r *Receiver) decodeUplinkStaged(parent *telemetry.Span, pressure []float64
 	// carrier.
 	bb, cfo := r.correctCFOIfReal(bb)
 	spDemod.Attr("samples", len(bb)).Attr("cfo_hz", cfo).End()
+	return r.decodeBasebandStaged(parent, bb, bitrate, cfo, searchFrom)
+}
+
+// DecodeBaseband runs the detection and decode half of the chain on
+// complex baseband that was mixed and filtered elsewhere — the entry
+// point for the block-based receiver in internal/stream, whose window is
+// already at baseband. Indices in the result are relative to bb.
+func (r *Receiver) DecodeBaseband(bb []complex128, bitrate float64) (*Decoded, error) {
+	bb2, cfo := r.correctCFOIfReal(bb)
+	return r.decodeBasebandStaged(nil, bb2, bitrate, cfo, 0)
+}
+
+// decodeBasebandStaged detects and decodes on an already-demodulated,
+// CFO-corrected baseband stream. indexOffset is added to the reported
+// sync indices (the batch path gates the stream at searchFrom and
+// reports indices in pre-gate coordinates).
+func (r *Receiver) decodeBasebandStaged(parent *telemetry.Span, bb []complex128, bitrate, cfo float64, indexOffset int) (*Decoded, error) {
 	spb, err := phy.SamplesPerBitFor(r.SampleRate, bitrate)
 	if err != nil {
 		return nil, err
@@ -301,8 +338,8 @@ func (r *Receiver) decodeUplinkStaged(parent *telemetry.Span, pressure []float64
 			}
 			continue
 		}
-		dec.Sync.Index += searchFrom
-		dec.Sync.PayloadIndex += searchFrom
+		dec.Sync.Index += indexOffset
+		dec.Sync.PayloadIndex += indexOffset
 		dec.CFOHz = cfo
 		return dec, nil
 	}
@@ -321,8 +358,8 @@ func (r *Receiver) decodeUplinkStaged(parent *telemetry.Span, pressure []float64
 		if err != nil {
 			continue
 		}
-		dec.Sync.Index += searchFrom
-		dec.Sync.PayloadIndex += searchFrom
+		dec.Sync.Index += indexOffset
+		dec.Sync.PayloadIndex += indexOffset
 		dec.CFOHz = cfo
 		return dec, nil
 	}

@@ -185,6 +185,7 @@ func DefaultConfig() *Config {
 			"pab/internal/frame",
 			"pab/internal/mac",
 			"pab/internal/scenario",
+			"pab/internal/stream",
 		},
 		PhysicsPkgs: []string{
 			"pab/internal/piezo",
@@ -232,6 +233,9 @@ func DefaultConfig() *Config {
 			"pab/internal/cli",
 			"pab/cmd/pabd",
 			"pab/cmd/pabcrash",
+			"pab/internal/stream",
+			"pab/internal/stream/streamd",
+			"pab/cmd/pabstream",
 		},
 		HotPkgs: []string{
 			"pab/internal/dsp",
@@ -239,6 +243,7 @@ func DefaultConfig() *Config {
 			"pab/internal/channel",
 			"pab/internal/core",
 			"pab/internal/acoustics",
+			"pab/internal/stream",
 		},
 		ProfPkg: "pab/internal/prof",
 	}

@@ -1,0 +1,106 @@
+package phy
+
+import (
+	"math"
+
+	"pab/internal/dsp"
+)
+
+// ScanHit is one preamble correlation peak found by a SyncScanner.
+type ScanHit struct {
+	// Index is the global sample index — counted from the first sample
+	// ever fed to the scanner — of the first preamble sample of the
+	// alignment.
+	Index int64
+	// Corr is the signed normalised correlation at the alignment
+	// (|Corr| ≥ the scanner threshold; the sign carries the FM0
+	// polarity, as in DetectPacketCandidates).
+	Corr float64
+}
+
+// SyncScanner is the incremental face of DetectPacketCandidates: it
+// watches a real-valued projection stream for FM0 preamble correlation
+// peaks block by block, carrying len(template)−1 samples of history so
+// an alignment torn across a block boundary is still evaluated whole.
+// Every alignment in the stream is scored exactly once: alignments
+// whose window closes inside a call are scored there, and ones
+// spanning the boundary are scored on the next call via the carry —
+// the carry is one sample too short for any alignment to close in it
+// twice.
+//
+// The scanner is a latency device for streaming receivers — hits tell
+// the caller where to aim a full decode attempt early. It holds no
+// decode state and suppresses nothing, so a caller that also runs a
+// full-window attempt before discarding samples loses no frames if a
+// hit is missed on a noisy projection.
+type SyncScanner struct {
+	tmpl      []float64
+	threshold float64
+	carry     []float64
+	nCarry    int
+	next      int64 // global index of the next sample to be fed
+	buf       []float64
+	hits      []ScanHit
+}
+
+// NewSyncScanner returns a scanner matching m's encoding of the
+// standard preamble at the given |correlation| threshold.
+func NewSyncScanner(m *FM0, threshold float64) *SyncScanner {
+	tmpl := m.EncodeTemplate(PreambleBits)
+	return &SyncScanner{
+		tmpl:      tmpl,
+		threshold: threshold,
+		carry:     make([]float64, len(tmpl)-1),
+		hits:      make([]ScanHit, 0, 8),
+	}
+}
+
+// Overlap returns the history length carried between calls.
+func (s *SyncScanner) Overlap() int { return len(s.tmpl) - 1 }
+
+// Offset returns the global index of the next sample Scan will consume.
+func (s *SyncScanner) Offset() int64 { return s.next }
+
+// Scan feeds the next block and returns the hits whose alignment
+// window closed with it, in ascending index order. The returned slice
+// is reused by the next Scan call; copy anything kept longer.
+func (s *SyncScanner) Scan(block []float64) []ScanHit {
+	s.hits = s.hits[:0]
+	if len(block) == 0 {
+		return s.hits
+	}
+	need := s.nCarry + len(block)
+	if cap(s.buf) < need {
+		s.buf = make([]float64, need)
+	}
+	buf := s.buf[:need]
+	copy(buf, s.carry[:s.nCarry])
+	copy(buf[s.nCarry:], block)
+	if need >= len(s.tmpl) {
+		corr := dsp.NormalizedCrossCorrelate(buf, s.tmpl)
+		base := s.next - int64(s.nCarry)
+		hits := s.hits
+		for i, v := range corr {
+			if math.Abs(v) >= s.threshold {
+				//pablint:ignore allocloop hits reuses the scanner's buffer; a realloc happens at most once per scanner lifetime, not per sample
+				hits = append(hits, ScanHit{Index: base + int64(i), Corr: v})
+			}
+		}
+		s.hits = hits
+	}
+	keep := len(s.tmpl) - 1
+	if need < keep {
+		keep = need
+	}
+	copy(s.carry[:keep], buf[need-keep:])
+	s.nCarry = keep
+	s.next += int64(len(block))
+	return s.hits
+}
+
+// Reset clears the carry and rewinds the global index to zero.
+func (s *SyncScanner) Reset() {
+	s.nCarry = 0
+	s.next = 0
+	s.hits = s.hits[:0]
+}

@@ -1,0 +1,301 @@
+package streamd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"pab/internal/stream"
+)
+
+// maxChunkBytes bounds one ingest request body: at 8 bytes per sample
+// that is one second of 96 kHz float64 PCM with headroom.
+const maxChunkBytes = 8 << 20
+
+// ioChunk is the read granularity for streamed request bodies.
+const ioChunk = 32 << 10
+
+// Server is the pabstream HTTP API over a Hub:
+//
+//	POST   /v1/streams              open a stream ({format, config overrides})
+//	POST   /v1/streams/{id}/chunks  feed PCM bytes; NDJSON frame rows + ack
+//	GET    /v1/streams/{id}         decoder stats
+//	DELETE /v1/streams/{id}         flush + close; NDJSON frame rows + eos
+//	POST   /v1/decode               one-shot: PCM body in, NDJSON frames out
+//	GET    /healthz                 liveness + active stream count
+type Server struct {
+	hub *Hub
+}
+
+// NewServer wraps a hub.
+func NewServer(h *Hub) *Server { return &Server{hub: h} }
+
+// Handler returns the route table.
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/streams", sv.handleOpen)
+	mux.HandleFunc("POST /v1/streams/{id}/chunks", sv.handleChunk)
+	mux.HandleFunc("GET /v1/streams/{id}", sv.handleStats)
+	mux.HandleFunc("DELETE /v1/streams/{id}", sv.handleClose)
+	mux.HandleFunc("POST /v1/decode", sv.handleOneShot)
+	mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// openRequest is the stream-creation body. Zero-valued fields fall
+// back to the hub's decoder template.
+type openRequest struct {
+	Format     string  `json:"format"`
+	SampleRate float64 `json:"sample_rate,omitempty"`
+	CarrierHz  float64 `json:"carrier_hz,omitempty"`
+	BitrateBps float64 `json:"bitrate_bps,omitempty"`
+	BlockSize  int     `json:"block,omitempty"`
+	MaxPayload int     `json:"max_payload_bytes,omitempty"`
+}
+
+// frameRow is one decoded packet as an NDJSON row. Payload marshals as
+// base64 (encoding/json's []byte convention).
+type frameRow struct {
+	Type              string  `json:"type"`
+	Stream            string  `json:"stream,omitempty"`
+	Start             int64   `json:"start"`
+	End               int64   `json:"end"`
+	Source            byte    `json:"source"`
+	Seq               byte    `json:"seq"`
+	Payload           []byte  `json:"payload"`
+	SNRdB             float64 `json:"snr_db"`
+	SyncPeak          float64 `json:"sync_peak"`
+	CFOHz             float64 `json:"cfo_hz"`
+	PreambleBitErrors int     `json:"preamble_bit_errors"`
+}
+
+func toRow(id string, f stream.Frame) frameRow {
+	return frameRow{
+		Type:              "frame",
+		Stream:            id,
+		Start:             f.Start,
+		End:               f.End,
+		Source:            f.Frame.Source,
+		Seq:               f.Frame.Seq,
+		Payload:           f.Frame.Payload,
+		SNRdB:             f.SNRdB(),
+		SyncPeak:          f.Sync.Score,
+		CFOHz:             f.CFOHz,
+		PreambleBitErrors: f.PreambleBitErrors,
+	}
+}
+
+func (sv *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxChunkBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	req := openRequest{Format: FormatF64LE}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("bad request body: %v", err)})
+			return
+		}
+		if req.Format == "" {
+			req.Format = FormatF64LE
+		}
+	}
+	dcfg := sv.hub.cfg.Decoder
+	if req.SampleRate > 0 {
+		dcfg.SampleRate = req.SampleRate
+	}
+	if req.CarrierHz > 0 {
+		dcfg.CarrierHz = req.CarrierHz
+	}
+	if req.BitrateBps > 0 {
+		dcfg.BitrateBps = req.BitrateBps
+	}
+	if req.BlockSize > 0 {
+		dcfg.BlockSize = req.BlockSize
+	}
+	if req.MaxPayload > 0 {
+		dcfg.MaxPayloadBytes = req.MaxPayload
+	}
+	s, err := sv.hub.Open(req.Format, &dcfg)
+	if err != nil {
+		sv.writeOpenError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":     s.ID,
+		"format": s.format,
+	})
+}
+
+// writeOpenError maps admission errors onto HTTP: 429 with Retry-After
+// when the hub sheds load, 503 during drain, 400 otherwise.
+func (sv *Server) writeOpenError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrTooManyStreams):
+		w.Header().Set("Retry-After", strconv.Itoa(sv.hub.RetryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+	}
+}
+
+// handleChunk streams one request body into a session, writing a frame
+// row the moment a packet decodes and an ack row at the end.
+func (sv *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.hub.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no such stream"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	var written int64
+	var nFrames int
+	buf := make([]byte, ioChunk)
+	body := io.LimitReader(r.Body, maxChunkBytes)
+	for {
+		n, rerr := body.Read(buf)
+		if n > 0 {
+			written += int64(n)
+			frames, werr := s.WriteBytes(buf[:n])
+			for _, f := range frames {
+				enc.Encode(toRow(s.ID, f))
+				nFrames++
+			}
+			if werr != nil {
+				enc.Encode(apiError{werr.Error()})
+				return
+			}
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				enc.Encode(apiError{rerr.Error()})
+				return
+			}
+			break
+		}
+	}
+	enc.Encode(map[string]any{"type": "ack", "bytes": written, "frames": nFrames})
+}
+
+func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.hub.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no such stream"})
+		return
+	}
+	st, frames := s.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     s.ID,
+		"format": s.format,
+		"frames": frames,
+		"stats":  st,
+	})
+}
+
+func (sv *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	frames, err := sv.hub.Close(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, f := range frames {
+		enc.Encode(toRow(id, f))
+	}
+	enc.Encode(map[string]any{"type": "eos", "stream": id, "frames": len(frames)})
+}
+
+// handleOneShot decodes a whole PCM body in one request — open, feed,
+// flush, close — for curl-style use without session bookkeeping.
+// Frame rows stream out while the body is still uploading (chunked
+// transfer), which needs full-duplex on HTTP/1.x.
+func (sv *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	format := q.Get("format")
+	if format == "" {
+		format = FormatF64LE
+	}
+	dcfg := sv.hub.cfg.Decoder
+	if v, err := strconv.ParseFloat(q.Get("rate"), 64); err == nil && v > 0 {
+		dcfg.SampleRate = v
+	}
+	if v, err := strconv.ParseFloat(q.Get("carrier"), 64); err == nil && v >= 0 {
+		dcfg.CarrierHz = v
+	}
+	if v, err := strconv.ParseFloat(q.Get("bitrate"), 64); err == nil && v > 0 {
+		dcfg.BitrateBps = v
+	}
+	s, err := sv.hub.Open(format, &dcfg)
+	if err != nil {
+		sv.writeOpenError(w, err)
+		return
+	}
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	nFrames := 0
+	buf := make([]byte, ioChunk)
+	body := io.LimitReader(r.Body, maxChunkBytes)
+	for {
+		n, rerr := body.Read(buf)
+		if n > 0 {
+			frames, werr := s.WriteBytes(buf[:n])
+			for _, f := range frames {
+				enc.Encode(toRow("", f))
+				nFrames++
+			}
+			if werr != nil {
+				enc.Encode(apiError{werr.Error()})
+				sv.hub.Close(s.ID)
+				return
+			}
+			rc.Flush()
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				enc.Encode(apiError{rerr.Error()})
+				sv.hub.Close(s.ID)
+				return
+			}
+			break
+		}
+	}
+	frames, _ := sv.hub.Close(s.ID)
+	for _, f := range frames {
+		enc.Encode(toRow("", f))
+		nFrames++
+	}
+	enc.Encode(map[string]any{"type": "eos", "frames": nFrames})
+}
+
+func (sv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if sv.hub.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"streams": sv.hub.ActiveCount(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

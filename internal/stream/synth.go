@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"pab/internal/frame"
+	"pab/internal/phy"
+)
+
+const twoPi = 2 * math.Pi
+
+// SynthConfig describes a synthetic uplink recording: an unmodulated
+// carrier lead-in, one FM0 backscatter packet, and a carrier tail.
+type SynthConfig struct {
+	SampleRate float64
+	CarrierHz  float64
+	BitrateBps float64
+	// Amplitude is the carrier amplitude (default 1).
+	Amplitude float64
+	// Depth is the backscatter modulation depth (default 0.5): the
+	// packet multiplies the carrier by 1 + Depth·level, level ∈ {±1}.
+	Depth float64
+	// LeadSamples of plain carrier precede the packet — enough lead-in
+	// lets the receiver's carrier detector lock before data arrives.
+	LeadSamples int
+	// TailSamples of plain carrier follow the packet.
+	TailSamples int
+}
+
+// SynthesizeRecording renders one data frame as a voltage-domain
+// passband recording: the amplitude-modulated carrier a hydrophone
+// would capture from a backscatter node, minus channel effects. It is
+// the deterministic workload generator for the streaming decoder's
+// tests and benchmarks — every sample is a pure function of the config
+// and the frame.
+func SynthesizeRecording(cfg SynthConfig, df frame.DataFrame) ([]float64, error) {
+	if cfg.SampleRate <= 0 || cfg.CarrierHz <= 0 || cfg.BitrateBps <= 0 {
+		return nil, fmt.Errorf("stream: synth needs positive rate/carrier/bitrate, got %g/%g/%g",
+			cfg.SampleRate, cfg.CarrierHz, cfg.BitrateBps)
+	}
+	if cfg.Amplitude <= 0 {
+		cfg.Amplitude = 1
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 0.5
+	}
+	spb, err := phy.SamplesPerBitFor(cfg.SampleRate, cfg.BitrateBps)
+	if err != nil {
+		return nil, err
+	}
+	fm0, err := phy.NewFM0(spb)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := df.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	bits := make([]phy.Bit, 0, len(phy.PreambleBits)+len(raw)*8)
+	bits = append(bits, phy.PreambleBits...)
+	bits = append(bits, frame.Bits(raw)...)
+	wave, _ := fm0.Encode(bits, 1)
+
+	out := make([]float64, cfg.LeadSamples+len(wave)+cfg.TailSamples)
+	w := twoPi * cfg.CarrierHz / cfg.SampleRate
+	for i := range out {
+		level := 0.0
+		if j := i - cfg.LeadSamples; j >= 0 && j < len(wave) {
+			level = wave[j]
+		}
+		out[i] = cfg.Amplitude * (1 + cfg.Depth*level) * math.Sin(w*float64(i))
+	}
+	return out, nil
+}

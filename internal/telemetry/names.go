@@ -152,6 +152,26 @@ const (
 	MRuntimeSchedLatencyP50Seconds   Name = "runtime_sched_latency_p50_seconds"
 	MRuntimeSchedLatencyP99Seconds   Name = "runtime_sched_latency_p99_seconds"
 
+	// stream — the block-based receiver (internal/stream) and the
+	// pabstream ingestion hub (internal/stream/streamd).
+	MStreamStreamsOpenedTotal   Name = "stream_streams_opened_total"
+	MStreamStreamsClosedTotal   Name = "stream_streams_closed_total"
+	MStreamStreamsActive        Name = "stream_streams_active"
+	MStreamStreamsRejectedTotal Name = "stream_streams_rejected_total"
+	MStreamStreamsReapedTotal   Name = "stream_streams_reaped_total"
+	MStreamShedTotal            Name = "stream_shed_total"
+	MStreamBlocksTotal          Name = "stream_blocks_total"
+	MStreamSamplesTotal         Name = "stream_samples_total"
+	MStreamBytesTotal           Name = "stream_bytes_total"
+	MStreamFramesTotal          Name = "stream_frames_total"
+	MStreamDecodeAttemptsTotal  Name = "stream_decode_attempts_total"
+	MStreamDecodeMissesTotal    Name = "stream_decode_misses_total"
+	MStreamResyncsTotal         Name = "stream_resyncs_total"
+	MStreamFlushesTotal         Name = "stream_flushes_total"
+	MStreamScanHitsTotal        Name = "stream_scan_hits_total"
+	MStreamWindowSamples        Name = "stream_window_samples"
+	MStreamDecodeLatencySeconds Name = "stream_decode_latency_seconds"
+
 	// fault — per-class injection counters (fault.Engine.note).
 	MFaultImpulseInjected    Name = "fault_impulse_injected_total"
 	MFaultNoiseFloorInjected Name = "fault_noise_floor_injected_total"
